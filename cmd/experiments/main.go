@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp id,id,...|all] [-scale demo|paper] [-seed N]
+//
+// Experiment ids follow the paper: fig5..fig16, table1, table2,
+// fingerprint. Demo scale (default) runs a structurally faithful scaled
+// machine in seconds; paper scale runs the full 20 MB machine and can take
+// minutes per offline-phase experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	scaleFlag := flag.String("scale", "demo", "demo or paper")
+	seed := flag.Int64("seed", 1, "root random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Short)
+		}
+		return
+	}
+	scale := experiments.Demo
+	switch *scaleFlag {
+	case "demo":
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want demo or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%s, %s scale, %.1fs wall)\n\n", e.ID, scale, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

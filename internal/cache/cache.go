@@ -1,0 +1,412 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// line is one cache line's metadata. Data contents are never modeled; the
+// attack observes presence, not values.
+type line struct {
+	tag   uint64 // line address (addr >> 6)
+	valid bool
+	dirty bool
+	io    bool   // allocated by DMA (DDIO)
+	stamp uint64 // LRU timestamp (global access counter)
+}
+
+// setState carries the per-set counters of the adaptive partitioning
+// defense (§VII): the current I/O way quota, and the lazily integrated
+// I/O-occupancy counter.
+type setState struct {
+	quota       int    // IO partition size in ways; ways [0,quota) are I/O
+	lastAdapt   uint64 // cycle of the last quota re-evaluation
+	occupCycles uint64 // cycles with >=1 valid I/O line since lastAdapt
+	lastUpd     uint64 // cycle of the last occupancy integration
+	hasIO       bool   // >=1 valid I/O line present right now
+}
+
+// Stats aggregates cache and memory traffic counters. Reads and writes of
+// main memory are counted in cache-line transfers.
+type Stats struct {
+	CPUAccesses, CPUHits, CPUMisses uint64
+	IOWrites, IOHits, IOAllocs      uint64
+	MemReads, MemWrites             uint64
+	Writebacks                      uint64
+	// IOEvictedCPU counts CPU-owned lines evicted by I/O allocations —
+	// the microarchitectural event the entire attack is built on. The
+	// partitioning defense drives this to zero. IOAllocsInvalid and
+	// IOAllocsEvictIO classify the remaining I/O allocations (into empty
+	// ways, respectively over older I/O lines).
+	IOEvictedCPU    uint64
+	IOAllocsInvalid uint64
+	IOAllocsEvictIO uint64
+	// BoundaryInvalidations counts lines invalidated by partition quota
+	// changes.
+	BoundaryInvalidations uint64
+	// IOBypasses counts DMA writes sent straight to memory because the
+	// I/O partition had no usable way (defense mode) or DDIO is off.
+	IOBypasses uint64
+}
+
+// MissRate returns the CPU miss ratio.
+func (s Stats) MissRate() float64 {
+	if s.CPUAccesses == 0 {
+		return 0
+	}
+	return float64(s.CPUMisses) / float64(s.CPUAccesses)
+}
+
+// Cache is the simulated last-level cache. It is single-goroutine, like the
+// rest of the simulation core.
+type Cache struct {
+	cfg    Config
+	clock  *sim.Clock
+	sets   [][]line   // [globalSet][way]
+	pstate []setState // only used when cfg.Partition != nil
+	nextID uint64     // LRU stamp source
+	stats  Stats
+}
+
+// New builds a cache; it panics on an invalid config (configs are
+// programmer-supplied, not user input).
+func New(cfg Config, clock *sim.Clock) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	total := cfg.TotalSets()
+	c := &Cache{cfg: cfg, clock: clock}
+	c.sets = make([][]line, total)
+	backing := make([]line, total*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	if cfg.Partition != nil {
+		c.pstate = make([]setState, total)
+		for i := range c.pstate {
+			c.pstate[i].quota = cfg.Partition.MinIOWays
+		}
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (geometry and contents are untouched).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Read performs a CPU load of the line containing addr, returning whether
+// it hit and its latency. The clock is NOT advanced: cores run in parallel,
+// so the caller decides whose time the latency is charged to (the spy
+// advances the clock around its probes; the driver core's accesses overlap
+// with the spy and cost it nothing).
+func (c *Cache) Read(addr uint64) (bool, uint64) {
+	return c.cpuAccess(addr, false)
+}
+
+// Write performs a CPU store (write-allocate, write-back).
+func (c *Cache) Write(addr uint64) (bool, uint64) {
+	return c.cpuAccess(addr, true)
+}
+
+func (c *Cache) cpuAccess(addr uint64, store bool) (bool, uint64) {
+	set := c.cfg.GlobalSet(addr)
+	c.maybeAdapt(set)
+	tag := addr >> 6
+	ways := c.sets[set]
+	c.stats.CPUAccesses++
+	if w := c.lookup(ways, tag); w >= 0 {
+		c.stats.CPUHits++
+		ways[w].stamp = c.touch()
+		if store {
+			ways[w].dirty = true
+		}
+		return true, c.cfg.HitLatency
+	}
+	c.stats.CPUMisses++
+	c.stats.MemReads++
+	w := c.victimCPU(set)
+	c.evict(set, w)
+	ways[w] = line{tag: tag, valid: true, dirty: store, io: false, stamp: c.touch()}
+	c.refreshHasIO(set)
+	return false, c.cfg.MissLatency
+}
+
+// IOWrite performs a DMA write of the line containing addr. With DDIO the
+// line is allocated directly into the LLC (dirty, I/O-owned); without DDIO
+// it is written to memory and any cached copy is invalidated (coherence).
+// DMA engines run in parallel with the cores, so the clock does not
+// advance.
+func (c *Cache) IOWrite(addr uint64) {
+	set := c.cfg.GlobalSet(addr)
+	c.maybeAdapt(set)
+	tag := addr >> 6
+	ways := c.sets[set]
+	c.stats.IOWrites++
+
+	if !c.cfg.DDIO && c.cfg.Partition == nil {
+		// Classic DMA: write to DRAM, invalidate stale cached copy.
+		c.stats.MemWrites++
+		c.stats.IOBypasses++
+		if w := c.lookup(ways, tag); w >= 0 {
+			ways[w].valid = false
+			c.refreshHasIO(set)
+		}
+		return
+	}
+
+	if w := c.lookup(ways, tag); w >= 0 {
+		// Update in place. Ownership is preserved: a DMA update of a line
+		// a core already owns does not count against the DDIO way cap,
+		// which limits allocations, not updates.
+		c.stats.IOHits++
+		ways[w].stamp = c.touch()
+		ways[w].dirty = true
+		c.refreshHasIO(set)
+		return
+	}
+
+	w, ok := c.victimIO(set)
+	if !ok {
+		// Defense mode with no usable way in the I/O partition: the write
+		// bypasses the cache rather than evict a CPU line.
+		c.stats.MemWrites++
+		c.stats.IOBypasses++
+		return
+	}
+	switch {
+	case !c.sets[set][w].valid:
+		c.stats.IOAllocsInvalid++
+	case c.sets[set][w].io:
+		c.stats.IOAllocsEvictIO++
+	default:
+		c.stats.IOEvictedCPU++ // the leak: DMA displaced a CPU line
+	}
+	c.evict(set, w)
+	ways[w] = line{tag: tag, valid: true, dirty: true, io: true, stamp: c.touch()}
+	c.stats.IOAllocs++
+	c.refreshHasIO(set)
+}
+
+// Flush removes the line containing addr from the cache (clflush),
+// writing it back if dirty. No latency is charged; the attack in this
+// reproduction never relies on flush timing.
+func (c *Cache) Flush(addr uint64) {
+	set := c.cfg.GlobalSet(addr)
+	tag := addr >> 6
+	ways := c.sets[set]
+	if w := c.lookup(ways, tag); w >= 0 {
+		c.evict(set, w)
+		ways[w].valid = false
+		c.refreshHasIO(set)
+	}
+}
+
+// Contains reports whether the line holding addr is cached. It is a
+// simulator-side oracle used by tests and ground-truth collection, never by
+// attack code.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.cfg.GlobalSet(addr)
+	return c.lookup(c.sets[set], addr>>6) >= 0
+}
+
+// IOLinesInSet counts valid I/O-owned lines in the global set (test oracle).
+func (c *Cache) IOLinesInSet(set int) int {
+	n := 0
+	for _, l := range c.sets[set] {
+		if l.valid && l.io {
+			n++
+		}
+	}
+	return n
+}
+
+// QuotaOf returns the current I/O partition quota of a set, or the DDIO way
+// cap when the defense is off.
+func (c *Cache) QuotaOf(set int) int {
+	if c.pstate != nil {
+		return c.pstate[set].quota
+	}
+	return c.cfg.DDIOWays
+}
+
+func (c *Cache) touch() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+func (c *Cache) lookup(ways []line, tag uint64) int {
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// evict writes back the victim if dirty. The slot is left to be overwritten
+// by the caller.
+func (c *Cache) evict(set, w int) {
+	l := &c.sets[set][w]
+	if l.valid && l.dirty {
+		c.stats.MemWrites++
+		c.stats.Writebacks++
+	}
+}
+
+// victimCPU picks the way a CPU allocation replaces.
+func (c *Cache) victimCPU(set int) int {
+	ways := c.sets[set]
+	if c.pstate != nil {
+		// Defense: CPU lines live in ways [quota, Ways).
+		q := c.pstate[set].quota
+		return lruWay(ways[q:]) + q
+	}
+	return lruWay(ways)
+}
+
+// victimIO picks the way an I/O allocation replaces; ok=false means the
+// write must bypass the cache.
+func (c *Cache) victimIO(set int) (int, bool) {
+	ways := c.sets[set]
+	if c.pstate != nil {
+		// Defense: I/O confined to ways [0, quota). The quota region is
+		// reserved, so there is always a usable way.
+		q := c.pstate[set].quota
+		if q == 0 {
+			return 0, false
+		}
+		return lruWay(ways[:q]), true
+	}
+	// Vulnerable DDIO: at most DDIOWays I/O lines per set; if the cap is
+	// reached replace the LRU I/O line, otherwise take the global LRU
+	// victim — which may well be a CPU (spy) line.
+	ioCount := 0
+	for _, l := range ways {
+		if l.valid && l.io {
+			ioCount++
+		}
+	}
+	if ioCount >= c.cfg.DDIOWays {
+		return lruIOWay(ways), true
+	}
+	return lruWay(ways), true
+}
+
+// lruWay returns the index of the least recently used way, preferring
+// invalid ways.
+func lruWay(ways []line) int {
+	best, bestStamp := 0, ^uint64(0)
+	for w := range ways {
+		if !ways[w].valid {
+			return w
+		}
+		if ways[w].stamp < bestStamp {
+			best, bestStamp = w, ways[w].stamp
+		}
+	}
+	return best
+}
+
+// lruIOWay returns the LRU way among valid I/O lines. The caller guarantees
+// at least one exists.
+func lruIOWay(ways []line) int {
+	best, bestStamp := -1, ^uint64(0)
+	for w := range ways {
+		if ways[w].valid && ways[w].io && ways[w].stamp < bestStamp {
+			best, bestStamp = w, ways[w].stamp
+		}
+	}
+	if best < 0 {
+		panic("cache: lruIOWay called with no IO lines")
+	}
+	return best
+}
+
+// refreshHasIO updates the occupancy flag after a content change,
+// integrating elapsed occupancy first.
+func (c *Cache) refreshHasIO(set int) {
+	if c.pstate == nil {
+		return
+	}
+	st := &c.pstate[set]
+	c.integrateOccupancy(st)
+	has := false
+	for _, l := range c.sets[set] {
+		if l.valid && l.io {
+			has = true
+			break
+		}
+	}
+	st.hasIO = has
+}
+
+func (c *Cache) integrateOccupancy(st *setState) {
+	now := c.clock.Now()
+	if st.hasIO && now > st.lastUpd {
+		st.occupCycles += now - st.lastUpd
+	}
+	st.lastUpd = now
+}
+
+// maybeAdapt runs the §VII adaptation for the set if at least one period
+// has elapsed since its last evaluation. Adaptation is evaluated lazily at
+// access time (a hardware implementation walks all sets each period; lazy
+// evaluation is equivalent for sets that are actually being touched and
+// free for idle sets). When several periods elapsed between touches the
+// thresholds scale with the elapsed time.
+func (c *Cache) maybeAdapt(set int) {
+	if c.pstate == nil {
+		return
+	}
+	st := &c.pstate[set]
+	p := c.cfg.Partition
+	now := c.clock.Now()
+	elapsed := now - st.lastAdapt
+	if elapsed < p.Period {
+		return
+	}
+	c.integrateOccupancy(st)
+	periods := elapsed / p.Period
+	switch {
+	case st.occupCycles > p.THigh*periods && st.quota < p.MaxIOWays:
+		st.quota++
+		c.invalidateWay(set, st.quota-1) // way joins the I/O partition
+	case st.occupCycles < p.TLow*periods && st.quota > p.MinIOWays:
+		c.invalidateWay(set, st.quota-1) // way leaves the I/O partition
+		st.quota--
+	}
+	st.occupCycles = 0
+	st.lastAdapt = now
+}
+
+// invalidateWay evicts whatever occupies the way that is switching
+// partitions, with writeback if dirty (§VII: "we invalidate the cache
+// blocks that are affected and perform any necessary writebacks").
+func (c *Cache) invalidateWay(set, w int) {
+	l := &c.sets[set][w]
+	if !l.valid {
+		return
+	}
+	c.evict(set, w)
+	l.valid = false
+	c.stats.BoundaryInvalidations++
+	c.refreshHasIO(set)
+}
+
+// String summarizes the cache geometry.
+func (c *Cache) String() string {
+	mode := "no-DDIO"
+	if c.cfg.Partition != nil {
+		mode = "adaptive-partition"
+	} else if c.cfg.DDIO {
+		mode = fmt.Sprintf("DDIO(%d-way)", c.cfg.DDIOWays)
+	}
+	return fmt.Sprintf("LLC %d KB: %d slices x %d sets x %d ways, %s",
+		c.cfg.SizeBytes()/1024, c.cfg.Slices, c.cfg.SetsPerSlice, c.cfg.Ways, mode)
+}

@@ -1,0 +1,287 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestCache(cfg Config) (*Cache, *sim.Clock) {
+	clock := sim.NewClock()
+	return New(cfg, clock), clock
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := PaperConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Slices = 3
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two slices must fail")
+	}
+	bad = good
+	bad.DDIOWays = 0
+	if bad.Validate() == nil {
+		t.Error("DDIO with 0 ways must fail")
+	}
+	bad = good
+	bad.Partition = &PartitionConfig{Period: 0}
+	if bad.Validate() == nil {
+		t.Error("zero partition period must fail")
+	}
+	bad = good
+	bad.Partition = DefaultPartitionConfig()
+	bad.Partition.MaxIOWays = good.Ways
+	if bad.Validate() == nil {
+		t.Error("quota consuming all ways must fail")
+	}
+}
+
+func TestPaperGeometry(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.SizeBytes() != 20*1024*1024 {
+		t.Errorf("size %d want 20MB", cfg.SizeBytes())
+	}
+	if cfg.TotalSets() != 16384 {
+		t.Errorf("sets %d want 16384", cfg.TotalSets())
+	}
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	c, clock := newTestCache(ScaledConfig(2, 64, 4))
+	addr := uint64(0x1000)
+	hit, lat := c.Read(addr)
+	if hit || lat != c.cfg.MissLatency {
+		t.Errorf("first read: hit=%v lat=%d", hit, lat)
+	}
+	hit, lat = c.Read(addr)
+	if !hit || lat != c.cfg.HitLatency {
+		t.Errorf("second read: hit=%v lat=%d", hit, lat)
+	}
+	if clock.Now() != 0 {
+		t.Errorf("cache must not advance the clock; clock=%d", clock.Now())
+	}
+	st := c.Stats()
+	if st.CPUHits != 1 || st.CPUMisses != 1 || st.MemReads != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := ScaledConfig(1, 64, 4)
+	c, _ := newTestCache(cfg)
+	set := 7
+	addrs := AddrsInGlobalSet(cfg, set, 5, 1)
+	// Fill the 4 ways.
+	for _, a := range addrs[:4] {
+		c.Read(a)
+	}
+	// Touch addr 0 so addr 1 becomes LRU.
+	c.Read(addrs[0])
+	// Allocate a 5th line: addrs[1] must be the victim.
+	c.Read(addrs[4])
+	if !c.Contains(addrs[0]) || c.Contains(addrs[1]) {
+		t.Error("LRU victim selection wrong")
+	}
+	for _, a := range addrs[2:] {
+		if !c.Contains(a) {
+			t.Errorf("addr %#x should be cached", a)
+		}
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := ScaledConfig(1, 64, 2)
+	c, _ := newTestCache(cfg)
+	addrs := AddrsInGlobalSet(cfg, 3, 3, 1)
+	c.Write(addrs[0]) // dirty
+	c.Read(addrs[1])
+	c.Read(addrs[2]) // evicts dirty addrs[0]
+	st := c.Stats()
+	if st.Writebacks != 1 || st.MemWrites != 1 {
+		t.Errorf("writebacks=%d memwrites=%d want 1,1", st.Writebacks, st.MemWrites)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c, _ := newTestCache(ScaledConfig(1, 64, 2))
+	c.Write(0x40)
+	c.Flush(0x40)
+	if c.Contains(0x40) {
+		t.Error("flushed line still present")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Error("dirty flush must write back")
+	}
+	c.Flush(0x9999999) // flushing an absent line is a no-op
+}
+
+func TestDDIOAllocatesInCache(t *testing.T) {
+	c, _ := newTestCache(ScaledConfig(1, 64, 4))
+	c.IOWrite(0x80)
+	if !c.Contains(0x80) {
+		t.Error("DDIO write must allocate in LLC")
+	}
+	if c.Stats().MemWrites != 0 {
+		t.Error("DDIO write must not touch memory")
+	}
+	// Driver read of the packet hits.
+	hit, _ := c.Read(0x80)
+	if !hit {
+		t.Error("driver read of DDIO line should hit")
+	}
+}
+
+func TestNoDDIOWritesToMemory(t *testing.T) {
+	cfg := ScaledConfig(1, 64, 4)
+	cfg.DDIO = false
+	c, _ := newTestCache(cfg)
+	c.Read(0x80) // warm a copy
+	c.IOWrite(0x80)
+	if c.Contains(0x80) {
+		t.Error("non-DDIO DMA must invalidate the cached copy")
+	}
+	st := c.Stats()
+	if st.MemWrites != 1 || st.IOBypasses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// Subsequent driver read misses (demand fetch from DRAM).
+	hit, _ := c.Read(0x80)
+	if hit {
+		t.Error("read after non-DDIO DMA must miss")
+	}
+}
+
+func TestDDIOWayCapNeverExceeded(t *testing.T) {
+	cfg := ScaledConfig(1, 64, 8)
+	cfg.DDIOWays = 2
+	c, _ := newTestCache(cfg)
+	set := 5
+	addrs := AddrsInGlobalSet(cfg, set, 10, 1)
+	for _, a := range addrs {
+		c.IOWrite(a)
+		if n := c.IOLinesInSet(set); n > 2 {
+			t.Fatalf("IO lines in set = %d exceeds DDIO cap 2", n)
+		}
+	}
+}
+
+func TestDDIOEvictsCPULines(t *testing.T) {
+	// The vulnerability: a set full of spy lines, one DMA write, one spy
+	// line gone.
+	cfg := ScaledConfig(1, 64, 4)
+	c, _ := newTestCache(cfg)
+	set := 9
+	addrs := AddrsInGlobalSet(cfg, set, 5, 1)
+	spy := addrs[:4]
+	for _, a := range spy {
+		c.Read(a)
+	}
+	c.IOWrite(addrs[4])
+	evicted := 0
+	for _, a := range spy {
+		if !c.Contains(a) {
+			evicted++
+		}
+	}
+	if evicted != 1 {
+		t.Errorf("evicted %d spy lines want exactly 1", evicted)
+	}
+	if c.Stats().IOEvictedCPU != 1 {
+		t.Errorf("IOEvictedCPU=%d want 1", c.Stats().IOEvictedCPU)
+	}
+}
+
+func TestPrimeProbeDetectsPacket(t *testing.T) {
+	// End-to-end property the whole attack rests on: priming a set and
+	// re-probing costs Ways hits when idle; after a DMA write at least one
+	// probe access misses.
+	cfg := ScaledConfig(2, 128, 8)
+	c, _ := newTestCache(cfg)
+	set := 42
+	addrs := AddrsInGlobalSet(cfg, set, cfg.Ways+1, 1)
+	probeSet := addrs[:cfg.Ways]
+	packet := addrs[cfg.Ways]
+
+	prime := func() {
+		for _, a := range probeSet {
+			c.Read(a)
+		}
+	}
+	probe := func() (lat uint64) {
+		for _, a := range probeSet {
+			_, l := c.Read(a)
+			lat += l
+		}
+		return lat
+	}
+	prime()
+	idleLat := probe()
+	if idleLat != uint64(cfg.Ways)*cfg.HitLatency {
+		t.Fatalf("idle probe latency %d want all hits %d", idleLat, uint64(cfg.Ways)*cfg.HitLatency)
+	}
+	c.IOWrite(packet)
+	busyLat := probe()
+	if busyLat <= idleLat {
+		t.Errorf("probe after DMA (%d) should exceed idle probe (%d)", busyLat, idleLat)
+	}
+}
+
+func TestStatsResetKeepsContents(t *testing.T) {
+	c, _ := newTestCache(ScaledConfig(1, 64, 2))
+	c.Read(0x40)
+	c.ResetStats()
+	if c.Stats().CPUAccesses != 0 {
+		t.Error("stats not reset")
+	}
+	if !c.Contains(0x40) {
+		t.Error("reset must not drop contents")
+	}
+}
+
+func TestCacheInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := ScaledConfig(2, 64, 4)
+		c, clock := newTestCache(cfg)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(1 << 20))
+			switch rng.Intn(4) {
+			case 0:
+				c.Read(addr)
+			case 1:
+				c.Write(addr)
+			case 2:
+				c.IOWrite(addr)
+			case 3:
+				c.Flush(addr)
+			}
+			clock.Advance(uint64(rng.Intn(50)))
+		}
+		st := c.Stats()
+		// Conservation: every CPU miss is a memory read.
+		if st.MemReads != st.CPUMisses {
+			return false
+		}
+		// DDIO cap holds everywhere.
+		for s := 0; s < cfg.TotalSets(); s++ {
+			if c.IOLinesInSet(s) > cfg.DDIOWays {
+				return false
+			}
+		}
+		return st.CPUHits+st.CPUMisses == st.CPUAccesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	c, _ := newTestCache(PaperConfig())
+	if s := c.String(); s == "" {
+		t.Error("empty description")
+	}
+}

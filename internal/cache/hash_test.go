@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSliceUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, 8)
+	n := 80000
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Int63()) &^ 63
+		counts[SliceOf(addr, 8)]++
+	}
+	want := n / 8
+	for s, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("slice %d count %d far from uniform %d", s, c, want)
+		}
+	}
+}
+
+func TestSliceUniformityOverPages(t *testing.T) {
+	// Page-aligned addresses must also spread across slices; this is what
+	// gives the paper its 256 candidate sets rather than 32.
+	counts := make([]int, 8)
+	for pfn := uint64(0); pfn < 4096; pfn++ {
+		counts[SliceOf(pfn*4096, 8)]++
+	}
+	for s, c := range counts {
+		if c < 300 || c > 800 {
+			t.Errorf("slice %d gets %d of 4096 pages; hash degenerate", s, c)
+		}
+	}
+}
+
+func TestSliceOfSingleSlice(t *testing.T) {
+	if SliceOf(0xdeadbeef, 1) != 0 {
+		t.Error("single-slice hash must return 0")
+	}
+}
+
+func TestIndexBits(t *testing.T) {
+	cfg := PaperConfig()
+	// Set index is bits [6,17) for 2048 sets.
+	addr := uint64(0x3FF) << 6 // set 0x3FF
+	_, set := cfg.Index(addr)
+	if set != 0x3FF {
+		t.Errorf("set %#x want 0x3FF", set)
+	}
+	// Line-offset bits must not affect the set.
+	_, set2 := cfg.Index(addr | 0x3F)
+	if set2 != set {
+		t.Error("offset bits changed the set index")
+	}
+}
+
+func TestAlignedSetCount(t *testing.T) {
+	cfg := PaperConfig()
+	if got := cfg.AlignedSetCount(); got != 256 {
+		t.Errorf("aligned sets %d want 256 (paper III-B)", got)
+	}
+	// Every page-aligned address must land in one of the aligned groups:
+	// set index divisible by 64.
+	for pfn := uint64(0); pfn < 2000; pfn++ {
+		_, set := cfg.Index(pfn * 4096)
+		if set%64 != 0 {
+			t.Fatalf("page-aligned address got set %d (not 64-aligned)", set)
+		}
+	}
+}
+
+func TestGlobalSetRange(t *testing.T) {
+	cfg := PaperConfig()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		gs := cfg.GlobalSet(uint64(rng.Int63()))
+		if gs < 0 || gs >= cfg.TotalSets() {
+			t.Fatalf("global set %d out of range", gs)
+		}
+	}
+}
+
+func TestAddrsInGlobalSetOracle(t *testing.T) {
+	cfg := PaperConfig()
+	for _, gs := range []int{0, 165*64 + 3, cfg.TotalSets() - 1} {
+		addrs := AddrsInGlobalSet(cfg, gs, 25, 1)
+		if len(addrs) != 25 {
+			t.Fatalf("wanted 25 addrs got %d", len(addrs))
+		}
+		seen := map[uint64]bool{}
+		for _, a := range addrs {
+			if cfg.GlobalSet(a) != gs {
+				t.Fatalf("oracle addr %#x maps to set %d want %d", a, cfg.GlobalSet(a), gs)
+			}
+			if seen[a] {
+				t.Fatal("duplicate oracle address")
+			}
+			seen[a] = true
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package cache
+
+// AddrsInGlobalSet enumerates n distinct line addresses that map to the
+// given global set, scanning tags upward from startTag. It is a
+// simulator-side oracle used by tests and by ground-truth collection; the
+// attack code in internal/probe builds its eviction sets through timing
+// measurements instead, as the real attack must.
+func AddrsInGlobalSet(cfg Config, globalSet, n int, startTag uint64) []uint64 {
+	out := make([]uint64, 0, n)
+	wantSlice := globalSet / cfg.SetsPerSlice
+	wantSet := globalSet % cfg.SetsPerSlice
+	// The set index is addr bits [6, 6+log2(SetsPerSlice)); fix those and
+	// scan the tag bits above until the slice hash cooperates.
+	for tag := startTag; len(out) < n; tag++ {
+		addr := tag<<(6+log2(cfg.SetsPerSlice)) | uint64(wantSet)<<6
+		if SliceOf(addr, cfg.Slices) == wantSlice {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+func log2(v int) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func partitionedConfig() Config {
+	cfg := ScaledConfig(1, 64, 8)
+	cfg.Partition = DefaultPartitionConfig()
+	return cfg
+}
+
+func TestPartitionIONeverEvictsCPU(t *testing.T) {
+	// The defense's core guarantee (§VII): no CPU line is ever displaced
+	// by an I/O allocation, under any traffic mix.
+	f := func(seed int64) bool {
+		cfg := partitionedConfig()
+		c, clock := newTestCache(cfg)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 5000; i++ {
+			addr := uint64(rng.Intn(1 << 19))
+			if rng.Bernoulli(0.4) {
+				c.IOWrite(addr)
+			} else {
+				c.Read(addr)
+			}
+			clock.Advance(uint64(rng.Intn(100)))
+		}
+		return c.Stats().IOEvictedCPU == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionQuotaGrowsUnderIO(t *testing.T) {
+	cfg := partitionedConfig()
+	c, clock := newTestCache(cfg)
+	set := 3
+	addrs := AddrsInGlobalSet(cfg, set, 6, 1)
+	if c.QuotaOf(set) != 1 {
+		t.Fatalf("initial quota %d want MinIOWays=1", c.QuotaOf(set))
+	}
+	// CPU lines fill the CPU partition so that quota growth has something
+	// to invalidate at the boundary.
+	for _, a := range AddrsInGlobalSet(cfg, set, cfg.Ways, 1<<30) {
+		c.Read(a)
+	}
+	// Sustained I/O traffic keeps occupancy at ~100% of each period, which
+	// must grow the quota toward MaxIOWays.
+	for i := 0; i < 100; i++ {
+		for _, a := range addrs {
+			c.IOWrite(a)
+		}
+		clock.Advance(2000)
+	}
+	if q := c.QuotaOf(set); q != cfg.Partition.MaxIOWays {
+		t.Errorf("quota after sustained IO = %d want %d", q, cfg.Partition.MaxIOWays)
+	}
+	if c.Stats().BoundaryInvalidations == 0 {
+		t.Error("quota growth must invalidate boundary ways")
+	}
+}
+
+func TestPartitionQuotaShrinksWhenIdle(t *testing.T) {
+	cfg := partitionedConfig()
+	c, clock := newTestCache(cfg)
+	set := 3
+	addrs := AddrsInGlobalSet(cfg, set, 6, 1)
+	for i := 0; i < 100; i++ {
+		for _, a := range addrs {
+			c.IOWrite(a)
+		}
+		clock.Advance(2000)
+	}
+	if c.QuotaOf(set) <= 1 {
+		t.Fatal("setup: quota should have grown")
+	}
+	// Now the set sees only CPU traffic; I/O lines age out of relevance
+	// and occupancy integration stops once they are gone. Flush the I/O
+	// lines to end occupancy, then let periods pass with CPU touches.
+	for _, a := range addrs {
+		c.Flush(a)
+	}
+	cpuAddrs := AddrsInGlobalSet(cfg, set, 4, 1<<30)
+	for i := 0; i < 100; i++ {
+		for _, a := range cpuAddrs {
+			c.Read(a)
+		}
+		clock.Advance(20000)
+	}
+	if q := c.QuotaOf(set); q != cfg.Partition.MinIOWays {
+		t.Errorf("quota after idle = %d want %d", q, cfg.Partition.MinIOWays)
+	}
+}
+
+func TestPartitionIOConfinedToQuota(t *testing.T) {
+	cfg := partitionedConfig()
+	c, clock := newTestCache(cfg)
+	set := 11
+	addrs := AddrsInGlobalSet(cfg, set, 12, 1)
+	for i := 0; i < 200; i++ {
+		for _, a := range addrs {
+			c.IOWrite(a)
+		}
+		clock.Advance(500)
+		if n := c.IOLinesInSet(set); n > cfg.Partition.MaxIOWays {
+			t.Fatalf("IO lines %d exceed MaxIOWays %d", n, cfg.Partition.MaxIOWays)
+		}
+	}
+}
+
+func TestPartitionCPUCapacityReduced(t *testing.T) {
+	// CPU partition has Ways-quota ways; with quota=1 a working set of
+	// Ways-1 CPU lines must fully fit and Ways lines must thrash.
+	cfg := partitionedConfig()
+	c, _ := newTestCache(cfg)
+	set := 20
+	addrs := AddrsInGlobalSet(cfg, set, cfg.Ways, 1)
+	fit := addrs[:cfg.Ways-1]
+	for _, a := range fit {
+		c.Read(a)
+	}
+	for _, a := range fit {
+		if hit, _ := c.Read(a); !hit {
+			t.Error("working set of Ways-1 lines must fit in CPU partition")
+		}
+	}
+}
+
+func TestPartitionSpyCannotSeePackets(t *testing.T) {
+	// End-to-end defense check mirroring TestPrimeProbeDetectsPacket: with
+	// partitioning on, the spy's probe latency is identical before and
+	// after DMA traffic.
+	cfg := partitionedConfig()
+	c, _ := newTestCache(cfg)
+	set := 42
+	quota := c.QuotaOf(set)
+	spyLines := cfg.Ways - quota
+	addrs := AddrsInGlobalSet(cfg, set, cfg.Ways+4, 1)
+	probeSet := addrs[:spyLines]
+	probe := func() (lat uint64) {
+		for _, a := range probeSet {
+			_, l := c.Read(a)
+			lat += l
+		}
+		return lat
+	}
+	probe() // prime
+	idle := probe()
+	for _, a := range addrs[spyLines:] {
+		c.IOWrite(a)
+	}
+	busy := probe()
+	if busy != idle {
+		t.Errorf("defense leak: probe latency changed %d -> %d", idle, busy)
+	}
+}
+
+func TestPartitionBoundaryWritebacks(t *testing.T) {
+	cfg := partitionedConfig()
+	c, clock := newTestCache(cfg)
+	set := 3
+	addrs := AddrsInGlobalSet(cfg, set, 8, 1)
+	// Dirty CPU lines fill the CPU partition, then sustained I/O grows the
+	// quota; the boundary way holds a dirty CPU line which must be
+	// invalidated (and written back).
+	for _, a := range AddrsInGlobalSet(cfg, set, cfg.Ways, 1<<30) {
+		c.Write(a)
+	}
+	for i := 0; i < 60; i++ {
+		for _, a := range addrs[:4] {
+			c.IOWrite(a)
+		}
+		clock.Advance(3000)
+	}
+	before := c.Stats().Writebacks
+	// Let it shrink.
+	for _, a := range addrs {
+		c.Flush(a)
+	}
+	for i := 0; i < 60; i++ {
+		c.Read(addrs[7])
+		clock.Advance(20000)
+	}
+	_ = before // shrink may or may not hit dirty lines after flush; the
+	// real assertion is that invalidations happened and nothing panicked.
+	if c.Stats().BoundaryInvalidations == 0 {
+		t.Error("no boundary invalidations recorded")
+	}
+}

@@ -1,0 +1,99 @@
+package chase
+
+import "testing"
+
+func testChaser(cfg ChaserConfig) *Chaser {
+	return &Chaser{cfg: cfg}
+}
+
+func TestClassify(t *testing.T) {
+	cfg := DefaultChaserConfig() // MaxBlocks 4, second half monitored
+	c := testChaser(cfg)
+	cases := []struct {
+		active []bool
+		want   int
+	}{
+		// First half only.
+		{[]bool{true, false, false, false, false, false, false, false}, 1},
+		{[]bool{true, true, false, false, false, false, false, false}, 2},
+		{[]bool{true, true, true, false, false, false, false, false}, 3},
+		{[]bool{true, true, true, true, false, false, false, false}, 4},
+		// Second half wins when larger (driver flipped the page offset).
+		{[]bool{true, false, false, false, true, true, true, false}, 3},
+		// Nothing active defaults to the smallest class.
+		{make([]bool, 8), 1},
+	}
+	for _, tc := range cases {
+		if got := c.classify(tc.active); got != tc.want {
+			t.Errorf("classify(%v)=%d want %d", tc.active, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyFirstHalfOnly(t *testing.T) {
+	cfg := DefaultChaserConfig()
+	cfg.MonitorSecondHalf = false
+	c := testChaser(cfg)
+	if got := c.classify([]bool{true, true, true, false}); got != 3 {
+		t.Errorf("got %d want 3", got)
+	}
+}
+
+func TestPacketDetectedRule(t *testing.T) {
+	cfg := DefaultChaserConfig()
+	c := testChaser(cfg)
+	// Blocks 0 and 1 together mean a packet (§V detection rule).
+	if !c.packetDetected([]bool{true, true, false, false, false, false, false, false}) {
+		t.Error("blocks 0+1 must detect")
+	}
+	// A single noisy set must not.
+	if c.packetDetected([]bool{true, false, false, false, false, false, false, false}) {
+		t.Error("block 0 alone must not detect")
+	}
+	if c.packetDetected([]bool{false, true, false, true, false, false, false, false}) {
+		t.Error("blocks 1+3 without 0 must not detect")
+	}
+	// Second half-page detection (after the driver's offset flip).
+	if !c.packetDetected([]bool{false, false, false, false, true, true, false, false}) {
+		t.Error("second-half blocks 0+1 must detect")
+	}
+}
+
+func TestPacketDetectedSingleBlockConfig(t *testing.T) {
+	cfg := DefaultChaserConfig()
+	cfg.MaxBlocks = 1
+	c := testChaser(cfg)
+	if !c.packetDetected([]bool{true}) {
+		t.Error("with 1 monitored block any activity detects")
+	}
+	if c.packetDetected([]bool{false}) {
+		t.Error("no activity, no detection")
+	}
+}
+
+func TestSizeTrace(t *testing.T) {
+	obs := []PacketObservation{{Blocks: 1}, {Blocks: 4}, {Blocks: 2}}
+	got := SizeTrace(obs)
+	want := []int{1, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if len(SizeTrace(nil)) != 0 {
+		t.Error("empty observations")
+	}
+}
+
+func TestDefaultChaserConfigSane(t *testing.T) {
+	cfg := DefaultChaserConfig()
+	if cfg.MaxBlocks != 4 {
+		t.Error("paper distinguishes classes 1..4+")
+	}
+	if !cfg.MonitorSecondHalf {
+		t.Error("both half-pages must be monitored by default (offset flip)")
+	}
+	if cfg.PollInterval == 0 || cfg.SyncTimeout == 0 {
+		t.Error("timing parameters must be positive")
+	}
+}

@@ -1,0 +1,92 @@
+package chase
+
+import "repro/internal/stats"
+
+// SequenceQuality is the Table I measurement block: the edit distance
+// between the recovered ring sequence and the driver's ground truth, the
+// normalized error rate, and the longest run of consecutive mismatches.
+type SequenceQuality struct {
+	Levenshtein     int
+	ErrorRate       float64
+	LongestMismatch int
+	RecoveredLen    int
+	TruthLen        int
+}
+
+// EvaluateCyclic compares a recovered sequence against the ground-truth
+// ring. Both are cyclic and the recovery's starting point is arbitrary, so
+// the distance is minimized over all rotations of the recovered sequence.
+func EvaluateCyclic(recovered, truth []int) SequenceQuality {
+	if len(recovered) == 0 || len(truth) == 0 {
+		return SequenceQuality{
+			Levenshtein:  maxInt(len(recovered), len(truth)),
+			ErrorRate:    1,
+			RecoveredLen: len(recovered),
+			TruthLen:     len(truth),
+		}
+	}
+	best := -1
+	bestRot := 0
+	for r := 0; r < len(recovered); r++ {
+		d := stats.Levenshtein(rotate(recovered, r), truth)
+		if best < 0 || d < best {
+			best, bestRot = d, r
+		}
+	}
+	rotated := rotate(recovered, bestRot)
+	return SequenceQuality{
+		Levenshtein:     best,
+		ErrorRate:       float64(best) / float64(len(truth)),
+		LongestMismatch: stats.LongestMismatch(rotated, truth),
+		RecoveredLen:    len(recovered),
+		TruthLen:        len(truth),
+	}
+}
+
+// FilterTruth restricts a ground-truth ring sequence to the elements
+// present in keep (for window-level evaluation, where only a subset of
+// sets was monitored).
+func FilterTruth(truth []int, keep map[int]bool) []int {
+	var out []int
+	for _, v := range truth {
+		if keep[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CollapseRuns merges consecutive duplicates cyclically. Two consecutive
+// ring buffers mapping to the same set are indistinguishable to the
+// attacker (§III-C: "the buffers are essentially merged"), so ground truth
+// must be collapsed the same way before comparison.
+func CollapseRuns(seq []int) []int {
+	if len(seq) == 0 {
+		return nil
+	}
+	var out []int
+	for i, v := range seq {
+		if i == 0 || v != seq[i-1] {
+			out = append(out, v)
+		}
+	}
+	// Cyclic wrap: last equals first.
+	for len(out) > 1 && out[len(out)-1] == out[0] {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func rotate(s []int, r int) []int {
+	out := make([]int, len(s))
+	copy(out, s[r:])
+	copy(out[len(s)-r:], s[:r])
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

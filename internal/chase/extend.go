@@ -1,0 +1,128 @@
+package chase
+
+import "fmt"
+
+// RecoverFull recovers the complete ring sequence: one base window of
+// WindowSize sets, then — exactly as §III-C describes — repeated sequencer
+// runs over the first WindowSize-1 sets plus one candidate, locating each
+// candidate's buffers within the growing master sequence.
+func (s *Sequencer) RecoverFull() ([]int, error) {
+	n := len(s.Groups)
+	w := s.Params.WindowSize
+	if w > n {
+		w = n
+	}
+	baseIDs := make([]int, w)
+	for i := range baseIDs {
+		baseIDs[i] = i
+	}
+	master, err := s.RecoverWindow(baseIDs)
+	if err != nil {
+		return nil, fmt.Errorf("chase: base window: %w", err)
+	}
+	shared := make(map[int]bool, w-1)
+	window := make([]int, w)
+	copy(window, baseIDs[:w-1])
+	for _, id := range baseIDs[:w-1] {
+		shared[id] = true
+	}
+	for cand := w; cand < n; cand++ {
+		window[w-1] = cand
+		seq, err := s.RecoverWindow(window)
+		if err != nil {
+			continue // candidate hosts no buffers or was drowned in noise
+		}
+		master = insertCandidate(master, seq, cand, shared)
+	}
+	return master, nil
+}
+
+// insertCandidate splices every occurrence of cand from the window
+// sequence seq into master. An occurrence is located by its nearest shared
+// neighbors (a, b): the buffer sits between the k-th (a followed-by b)
+// pair, where k counts pair occurrences cyclically. Occurrences whose
+// anchors cannot be found in master are dropped — they surface as sequence
+// errors, the same tolerance the paper accepts.
+func insertCandidate(master, seq []int, cand int, shared map[int]bool) []int {
+	type anchor struct {
+		a, b, k int
+	}
+	var anchors []anchor
+	pairCount := map[[2]int]int{}
+	m := len(seq)
+	for i, v := range seq {
+		if v != cand {
+			continue
+		}
+		a, b := -1, -1
+		for d := 1; d < m; d++ {
+			if u := seq[((i-d)%m+m)%m]; a < 0 && shared[u] {
+				a = u
+			}
+			if u := seq[(i+d)%m]; b < 0 && shared[u] {
+				b = u
+			}
+			if a >= 0 && b >= 0 {
+				break
+			}
+		}
+		if a < 0 {
+			continue
+		}
+		key := [2]int{a, b}
+		anchors = append(anchors, anchor{a: a, b: b, k: pairCount[key]})
+		pairCount[key]++
+	}
+
+	out := master
+	for _, an := range anchors {
+		positions := matchPositions(out, an.a, an.b, shared)
+		if len(positions) == 0 {
+			// Fall back to anchoring on the predecessor alone.
+			positions = occurrencePositions(out, an.a)
+			if len(positions) == 0 {
+				continue
+			}
+		}
+		pos := positions[an.k%len(positions)]
+		out = append(out[:pos+1], append([]int{cand}, out[pos+1:]...)...)
+	}
+	return out
+}
+
+// matchPositions returns master indices i such that master[i] == a and the
+// next shared element (cyclically, skipping inserted non-shared ids) is b.
+// b < 0 matches anything.
+func matchPositions(master []int, a, b int, shared map[int]bool) []int {
+	n := len(master)
+	var out []int
+	for i, v := range master {
+		if v != a {
+			continue
+		}
+		if b < 0 {
+			out = append(out, i)
+			continue
+		}
+		for d := 1; d < n; d++ {
+			u := master[(i+d)%n]
+			if shared[u] {
+				if u == b {
+					out = append(out, i)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+func occurrencePositions(master []int, a int) []int {
+	var out []int
+	for i, v := range master {
+		if v == a {
+			out = append(out, i)
+		}
+	}
+	return out
+}

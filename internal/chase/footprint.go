@@ -1,0 +1,105 @@
+package chase
+
+import (
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// FootprintResult captures the §III-B discovery experiments: per page-
+// aligned group, the activity rates of an idle machine versus a machine
+// receiving packets (Fig 7), measured over the same monitored groups.
+type FootprintResult struct {
+	// Groups are the discovered page-aligned conflict groups.
+	Groups []probe.EvictionSet
+	// IdleRate[i] and BusyRate[i] are per-group activity fractions.
+	IdleRate, BusyRate []float64
+	// ActiveGroups lists groups whose busy-rate exceeds their idle-rate
+	// by margin — the candidate ring-buffer locations.
+	ActiveGroups []int
+}
+
+// FootprintParams configures footprint discovery.
+type FootprintParams struct {
+	// Samples per phase (idle and busy).
+	Samples int
+	// ProbeRate in probes/second over the whole group list. Probing all
+	// 256 groups is slow (~12M cycles on the paper machine) which is
+	// exactly why the attack then narrows its monitor list.
+	ProbeRate float64
+	// Margin is the busy-minus-idle activity fraction required to flag a
+	// group as hosting ring buffers.
+	Margin float64
+}
+
+// DefaultFootprintParams returns sensible discovery parameters.
+func DefaultFootprintParams() FootprintParams {
+	return FootprintParams{Samples: 400, ProbeRate: 2_000, Margin: 0.05}
+}
+
+// RecoverFootprint measures idle activity, then busy activity (the caller
+// must install packet traffic on the testbed between the two phases via
+// the busy callback), and flags the groups that light up.
+//
+// Typical use:
+//
+//	res := chase.RecoverFootprint(spy, groups, params, func() {
+//	    tb.SetTraffic(broadcastSource)
+//	})
+func RecoverFootprint(spy *probe.Spy, groups []probe.EvictionSet, p FootprintParams, startTraffic func()) FootprintResult {
+	mon := probe.NewMonitor(spy, groups)
+	interval := sim.CyclesPerSecond(p.ProbeRate)
+	idle := mon.Collect(p.Samples, interval)
+	startTraffic()
+	busy := mon.Collect(p.Samples, interval)
+	res := FootprintResult{
+		Groups:   groups,
+		IdleRate: probe.ActivityRate(idle),
+		BusyRate: probe.ActivityRate(busy),
+	}
+	for i := range groups {
+		if res.BusyRate[i]-res.IdleRate[i] > p.Margin {
+			res.ActiveGroups = append(res.ActiveGroups, i)
+		}
+	}
+	return res
+}
+
+// SizeFootprint is the Fig 8 experiment for one packet-size stream: the
+// per-block activity rates over the monitored groups' block-k eviction
+// sets.
+type SizeFootprint struct {
+	// BlockRate[k][g] is the activity rate of group g's block-k set.
+	BlockRate [][]float64
+}
+
+// MeasureSizeFootprint monitors blocks 0..maxBlock-1 of the given groups
+// while traffic flows and returns per-block aggregate activity. The
+// diagonal structure of Fig 8 — block k lights up iff the stream's packets
+// have more than k blocks, except the block-1 prefetch artifact — falls
+// out of the driver model.
+func MeasureSizeFootprint(spy *probe.Spy, groups []probe.EvictionSet, maxBlock, samples int, probeRate float64) SizeFootprint {
+	res := SizeFootprint{BlockRate: make([][]float64, maxBlock)}
+	interval := sim.CyclesPerSecond(probeRate)
+	for k := 0; k < maxBlock; k++ {
+		sets := make([]probe.EvictionSet, len(groups))
+		for i, g := range groups {
+			sets[i] = g.Offset(k)
+		}
+		mon := probe.NewMonitor(spy, sets)
+		samples := mon.Collect(samples, interval)
+		res.BlockRate[k] = probe.ActivityRate(samples)
+	}
+	return res
+}
+
+// MeanRate averages a rate vector (figure summarization helper).
+func MeanRate(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rates {
+		s += r
+	}
+	return s / float64(len(rates))
+}

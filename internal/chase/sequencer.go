@@ -1,0 +1,365 @@
+// Package chase implements the paper's primary contribution: recovering the
+// NIC ring buffers' cache footprint and fill order from PRIME+PROBE
+// observations, then chasing packets buffer-to-buffer to read out per-packet
+// size and timing.
+//
+// The offline phase (§III) has two steps: discover the page-aligned cache
+// sets the ring buffers live in (footprint.go), and recover the cyclic
+// order in which those sets fire (this file — Algorithm 1). The online
+// phase (chaser.go) walks the recovered ring one buffer at a time.
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// SequencerParams mirrors the parameter block of the paper's Table I.
+type SequencerParams struct {
+	// Samples is Nsamples, the probe passes collected per sequencer run
+	// (paper: 100,000).
+	Samples int
+	// WindowSize is the number of sets monitored per run (paper: 32 —
+	// monitoring more slows probing too much to resolve packet order).
+	WindowSize int
+	// ProbeRate is the sampling rate in probes/second (paper: 8,000).
+	ProbeRate float64
+	// ActivityCutoff is the activity fraction above which a monitored set
+	// is deemed "always missing" and replaced by the second block of the
+	// same pages (GET_CLEAN_SAMPLES step 10).
+	ActivityCutoff float64
+	// WeightCutoff is the minimum edge weight for MAKE_SEQUENCE to keep
+	// walking (weight_cutoff in Algorithm 1).
+	WeightCutoff int
+}
+
+// DefaultSequencerParams returns the paper's Table I parameters with a
+// sample count scaled for simulation (the shape of the result is set by
+// ring revolutions observed, which remains in the thousands).
+func DefaultSequencerParams() SequencerParams {
+	return SequencerParams{
+		Samples:        100_000,
+		WindowSize:     32,
+		ProbeRate:      8_000,
+		ActivityCutoff: 0.45,
+		WeightCutoff:   3,
+	}
+}
+
+// Sequencer recovers ring-buffer order. It owns a spy and the aligned
+// eviction-set groups discovered in the footprint phase.
+type Sequencer struct {
+	Spy    *probe.Spy
+	Groups []probe.EvictionSet
+	Params SequencerParams
+}
+
+// edgeGraph is Algorithm 1's history-augmented transition graph:
+// graph[prev][curr][cand] counts observations of activity on cand
+// immediately after the transition prev->curr. The single node of history
+// is what lets the walk distinguish two ring buffers that share a cache
+// set (Fig 9).
+type edgeGraph struct {
+	n int
+	w []int
+}
+
+func newEdgeGraph(n int) *edgeGraph { return &edgeGraph{n: n, w: make([]int, n*n*n)} }
+
+func (g *edgeGraph) at(prev, curr, cand int) int { return g.w[(prev*g.n+curr)*g.n+cand] }
+func (g *edgeGraph) inc(prev, curr, cand int)    { g.w[(prev*g.n+curr)*g.n+cand]++ }
+func (g *edgeGraph) clear(prev, curr, cand int)  { g.w[(prev*g.n+curr)*g.n+cand] = 0 }
+
+// clearPair zeroes every successor of a (prev, curr) transition.
+func (g *edgeGraph) clearPair(prev, curr int) {
+	base := (prev*g.n + curr) * g.n
+	for c := 0; c < g.n; c++ {
+		g.w[base+c] = 0
+	}
+}
+
+// pairWeight sums edge weights into (curr -> cand) over all histories.
+func (g *edgeGraph) pairWeight(curr, cand int) int {
+	var sum int
+	for p := 0; p < g.n; p++ {
+		sum += g.at(p, curr, cand)
+	}
+	return sum
+}
+
+// argmax returns the heaviest successor of the (prev, curr) transition.
+// Successors equal to curr are excluded: a curr->curr step can never be
+// followed (self-transitions carry no history by construction), and such
+// edges arise from kernel pages — like the descriptor ring — that fire on
+// several consecutive packets.
+func (g *edgeGraph) argmax(prev, curr int) (int, int) {
+	base := (prev*g.n + curr) * g.n
+	best, bestW := -1, 0
+	for c := 0; c < g.n; c++ {
+		if c == curr {
+			continue
+		}
+		if w := g.w[base+c]; w > bestW {
+			best, bestW = c, w
+		}
+	}
+	return best, bestW
+}
+
+// RecoverWindow runs Algorithm 1 over the groups selected by ids (indices
+// into s.Groups) and returns the recovered cyclic sequence as group
+// indices. The caller arranges for packet traffic to be flowing.
+func (s *Sequencer) RecoverWindow(ids []int) ([]int, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("chase: empty window")
+	}
+	samples, mon := s.getCleanSamples(ids)
+	graph := buildGraph(samples, len(ids))
+	local := makeSequence(graph, s.Params.WeightCutoff)
+	if len(local) == 0 {
+		return nil, fmt.Errorf("chase: no sequence found (window of %d sets, %d samples)", len(ids), len(samples))
+	}
+	_ = mon
+	out := make([]int, len(local))
+	for i, l := range local {
+		out[i] = ids[l]
+	}
+	return out, nil
+}
+
+// getCleanSamples is Algorithm 1's GET_CLEAN_SAMPLES: collect samples, and
+// replace any set that is active in nearly every sample (conflicting
+// kernel data, e.g. the descriptor ring or skb pool pages) with the second
+// block of the same pages, then re-collect. A set that stays hot even
+// after replacement carries no sequencing signal — kernel data shares both
+// of its blocks — so its activations are masked out; the buffers it hosts
+// surface as sequence errors, which Table I's error rate accounts for.
+func (s *Sequencer) getCleanSamples(ids []int) ([]probe.Sample, *probe.Monitor) {
+	sets := make([]probe.EvictionSet, len(ids))
+	for i, id := range ids {
+		sets[i] = s.Groups[id]
+	}
+	interval := sim.CyclesPerSecond(s.Params.ProbeRate)
+	mon := probe.NewMonitor(s.Spy, sets)
+	var samples []probe.Sample
+	for attempt := 0; ; attempt++ {
+		samples = mon.Collect(s.Params.Samples, interval)
+		if attempt >= 2 {
+			break
+		}
+		rates := probe.ActivityRate(samples)
+		replaced := false
+		for i, r := range rates {
+			if r > s.Params.ActivityCutoff {
+				mon.ReplaceSet(i, s.Groups[ids[i]].Offset(1))
+				replaced = true
+			}
+		}
+		if !replaced {
+			return samples, mon
+		}
+	}
+	for i, r := range probe.ActivityRate(samples) {
+		if r > s.Params.ActivityCutoff {
+			for j := range samples {
+				samples[j].Active[i] = false
+			}
+		}
+	}
+	return samples, mon
+}
+
+// buildGraph is Algorithm 1's BUILD_GRAPH.
+func buildGraph(samples []probe.Sample, n int) *edgeGraph {
+	g := newEdgeGraph(n)
+	prev, curr := 0, 0
+	for _, s := range samples {
+		for cand, active := range s.Active {
+			if !active {
+				continue
+			}
+			if curr != prev { // no self-loop history
+				g.inc(prev, curr, cand)
+			}
+			prev, curr = curr, cand
+		}
+	}
+	return g
+}
+
+// makeSequence is Algorithm 1's MAKE_SEQUENCE: start from the heaviest
+// edge and greedily follow the strongest successor, consuming edges, until
+// returning to the root or running out of weight.
+//
+// One extension over the paper's pseudocode: when kernel pages that alias
+// a buffer set (descriptor ring, skb pool) break the chain mid-ring, the
+// greedy walk dead-ends early. In that case the residual graph still holds
+// the rest of the ring, so we keep extracting segments and stitch them
+// back together using the pre-walk edge weights.
+func makeSequence(g *edgeGraph, weightCutoff int) []int {
+	pristine := append([]int(nil), g.w...)
+	var segments [][]int
+	var avgWeights []float64
+	for {
+		seg, avg := walkSegment(g, weightCutoff)
+		if len(seg) < 2 {
+			break
+		}
+		segments = append(segments, seg)
+		avgWeights = append(avgWeights, avg)
+		if len(segments) > g.n {
+			break
+		}
+	}
+	if len(segments) == 0 {
+		return nil
+	}
+	// Residual walks over noise edges produce weak segments; real ring
+	// segments carry edge weights comparable to the strongest one (each
+	// ring position is observed once per revolution). Keep only segments
+	// within 4x of the best average weight.
+	bestAvg := avgWeights[0]
+	for _, a := range avgWeights {
+		if a > bestAvg {
+			bestAvg = a
+		}
+	}
+	kept := segments[:0]
+	for i, s := range segments {
+		if avgWeights[i]*4 >= bestAvg {
+			kept = append(kept, s)
+		}
+	}
+	return stitch(kept, &edgeGraph{n: g.n, w: pristine})
+}
+
+// walkSegment performs one greedy walk over the residual graph, returning
+// the segment and the average weight of the edges it consumed.
+func walkSegment(g *edgeGraph, weightCutoff int) ([]int, float64) {
+	rootPrev, rootCurr := getRoot(g)
+	if rootPrev < 0 {
+		return nil, 0
+	}
+	// A root with no affordable successor would yield a singleton segment
+	// forever; check up front.
+	if _, w := g.argmax(rootPrev, rootCurr); w < weightCutoff {
+		g.clearPair(rootPrev, rootCurr)
+		return nil, 0
+	}
+	var seq []int
+	var consumed, steps float64
+	prev, curr := rootPrev, rootCurr
+	for {
+		seq = append(seq, curr)
+		next, w := g.argmax(prev, curr)
+		if next < 0 || w < weightCutoff {
+			break
+		}
+		g.clear(prev, curr, next) // mark visited
+		consumed += float64(w)
+		steps++
+		prev, curr = curr, next
+		if prev == rootPrev && curr == rootCurr {
+			break
+		}
+		if len(seq) > g.n*g.n {
+			break // degenerate graph; bail rather than loop forever
+		}
+	}
+	if steps == 0 {
+		return seq, 0
+	}
+	return seq, consumed / steps
+}
+
+// stitch greedily concatenates segments by the strongest tail-to-head
+// support in the pristine graph. The first (longest) segment anchors the
+// ring.
+func stitch(segments [][]int, g0 *edgeGraph) []int {
+	longest := 0
+	for i, s := range segments {
+		if len(s) > len(segments[longest]) {
+			longest = i
+		}
+	}
+	out := segments[longest]
+	remaining := make([][]int, 0, len(segments)-1)
+	for i, s := range segments {
+		if i != longest {
+			remaining = append(remaining, s)
+		}
+	}
+	// A window over n sets sees each set a small bounded number of times
+	// per revolution; anything beyond 2n recovered entries is duplicated
+	// or spurious territory.
+	maxLen := 2 * g0.n
+	for len(remaining) > 0 && len(out) < maxLen {
+		tail := out[len(out)-1]
+		tailPrev := -1
+		if len(out) > 1 {
+			tailPrev = out[len(out)-2]
+		}
+		best, bestW := -1, 0
+		for i, s := range remaining {
+			w := g0.pairWeight(tail, s[0])
+			if tailPrev >= 0 {
+				w += g0.at(tailPrev, tail, s[0]) * 2
+			}
+			if w > bestW {
+				best, bestW = i, w
+			}
+		}
+		if best < 0 {
+			break // no segment has any support at this tail
+		}
+		out = append(out, remaining[best]...)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return out
+}
+
+// getRoot picks the walk's origin. The recovered sequence is a ring, so
+// the starting point is arbitrary (§III-C) — but the walk terminates on
+// returning to the root *pair*, so the root must be a pair that occurs
+// once per ring revolution. Pairs occurring at several ring positions have
+// several strong successors (that is what the history disambiguates);
+// getRoot therefore prefers the heaviest pair with a single dominant
+// successor, falling back to the heaviest pair overall.
+func getRoot(g *edgeGraph) (int, int) {
+	bestPrev, bestCurr, bestW := -1, -1, 0
+	uniqPrev, uniqCurr, uniqW := -1, -1, 0
+	for p := 0; p < g.n; p++ {
+		for c := 0; c < g.n; c++ {
+			if p == c {
+				continue
+			}
+			sum, max, second := 0, 0, 0
+			for x := 0; x < g.n; x++ {
+				if x == c {
+					continue // unusable self-successor edges (see argmax)
+				}
+				w := g.at(p, c, x)
+				sum += w
+				switch {
+				case w > max:
+					second, max = max, w
+				case w > second:
+					second = w
+				}
+			}
+			if sum > bestW {
+				bestPrev, bestCurr, bestW = p, c, sum
+			}
+			// "Single dominant successor": the runner-up is noise-level.
+			if max > uniqW && second*4 <= max {
+				uniqPrev, uniqCurr, uniqW = p, c, max
+			}
+		}
+	}
+	if uniqPrev >= 0 {
+		return uniqPrev, uniqCurr
+	}
+	return bestPrev, bestCurr
+}

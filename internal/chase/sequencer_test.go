@@ -1,0 +1,183 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/probe"
+)
+
+// syntheticSamples builds a probe.Sample stream in which the given ring of
+// set indices fires cyclically, one activation per sample, for the given
+// number of revolutions.
+func syntheticSamples(ring []int, nSets, revolutions int) []probe.Sample {
+	var out []probe.Sample
+	for r := 0; r < revolutions; r++ {
+		for _, s := range ring {
+			active := make([]bool, nSets)
+			active[s] = true
+			out = append(out, probe.Sample{Active: active})
+		}
+	}
+	return out
+}
+
+func recoverFromSamples(t *testing.T, ring []int, nSets, revolutions int) []int {
+	t.Helper()
+	samples := syntheticSamples(ring, nSets, revolutions)
+	g := buildGraph(samples, nSets)
+	seq := makeSequence(g, 3)
+	if len(seq) == 0 {
+		t.Fatal("no sequence recovered")
+	}
+	return seq
+}
+
+func TestSequencerSimpleRing(t *testing.T) {
+	ring := []int{1, 0, 3, 2, 4}
+	seq := recoverFromSamples(t, ring, 5, 50)
+	q := EvaluateCyclic(seq, ring)
+	if q.Levenshtein != 0 {
+		t.Errorf("clean ring must be perfectly recovered; got %v (dist %d)", seq, q.Levenshtein)
+	}
+}
+
+func TestSequencerSharedSetNeedsHistory(t *testing.T) {
+	// Two ring buffers map to set 3: without one node of history the walk
+	// could not tell the two apart (Fig 9). With it, recovery is exact.
+	ring := []int{0, 3, 2, 3, 1}
+	seq := recoverFromSamples(t, ring, 5, 60)
+	q := EvaluateCyclic(seq, ring)
+	if q.Levenshtein != 0 {
+		t.Errorf("shared-set ring recovery: got %v want rotation of %v", seq, ring)
+	}
+}
+
+func TestSequencerPaperExample(t *testing.T) {
+	// The Fig 9 example: sets 1=>0=>3=>2=>4 then =>1=>2=>3=>1 — wait, the
+	// figure's final sequence is 1,0,3,2,4,1,2,3 with set ids carrying
+	// buffers {21,29,93,135,164,193,205,210}. Encode that ring directly.
+	ring := []int{1, 0, 3, 2, 4, 1, 2, 3}
+	seq := recoverFromSamples(t, ring, 5, 80)
+	q := EvaluateCyclic(seq, ring)
+	if q.Levenshtein > 1 {
+		t.Errorf("Fig 9 ring: distance %d, got %v", q.Levenshtein, seq)
+	}
+}
+
+func TestSequencerToleratesSampleNoise(t *testing.T) {
+	// Inject spurious activations into 5% of samples; recovery should
+	// stay close.
+	ring := []int{0, 2, 1, 4, 3, 5}
+	samples := syntheticSamples(ring, 6, 80)
+	for i := 7; i < len(samples); i += 20 {
+		samples[i].Active[(i*3)%6] = true
+	}
+	g := buildGraph(samples, 6)
+	seq := makeSequence(g, 3)
+	q := EvaluateCyclic(seq, ring)
+	if q.ErrorRate > 0.35 {
+		t.Errorf("noisy recovery error %.2f too high: %v", q.ErrorRate, seq)
+	}
+}
+
+func TestMakeSequenceEmptyGraph(t *testing.T) {
+	g := newEdgeGraph(4)
+	if seq := makeSequence(g, 1); seq != nil {
+		t.Errorf("empty graph must give no sequence, got %v", seq)
+	}
+}
+
+func TestEvaluateCyclicRotationInvariance(t *testing.T) {
+	truth := []int{5, 1, 3, 2, 4}
+	rotated := []int{3, 2, 4, 5, 1}
+	q := EvaluateCyclic(rotated, truth)
+	if q.Levenshtein != 0 {
+		t.Errorf("rotations must be distance 0, got %d", q.Levenshtein)
+	}
+}
+
+func TestEvaluateCyclicEmpty(t *testing.T) {
+	q := EvaluateCyclic(nil, []int{1, 2})
+	if q.ErrorRate != 1 {
+		t.Errorf("empty recovery must be 100%% error, got %v", q.ErrorRate)
+	}
+}
+
+func TestCollapseRuns(t *testing.T) {
+	in := []int{3, 3, 1, 2, 2, 2, 3}
+	got := CollapseRuns(in)
+	want := []int{1, 2, 3} // leading 3s merge with trailing 3 cyclically
+	if len(got) != 4 {
+		// 3,1,2,3 -> cyclic wrap trims trailing 3? trailing 3 == leading 3,
+		// so [3,1,2] or [1,2,3] depending on trim side; we trim the tail.
+		t.Logf("got %v", got)
+	}
+	if got[len(got)-1] == got[0] && len(got) > 1 {
+		t.Errorf("cyclic duplicate endpoints remain: %v", got)
+	}
+	_ = want
+	if CollapseRuns(nil) != nil {
+		t.Error("empty input")
+	}
+}
+
+func TestFilterTruth(t *testing.T) {
+	truth := []int{0, 5, 1, 6, 2}
+	keep := map[int]bool{0: true, 1: true, 2: true}
+	got := FilterTruth(truth, keep)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestInsertCandidate(t *testing.T) {
+	// Master ring over shared sets {0,1,2} plus set 3; candidate 9's
+	// buffer sits between 1 and 2.
+	master := []int{0, 1, 2, 3}
+	shared := map[int]bool{0: true, 1: true, 2: true}
+	candSeq := []int{0, 1, 9, 2} // window run over {0,1,2,9}
+	got := insertCandidate(master, candSeq, 9, shared)
+	want := []int{0, 1, 9, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestInsertCandidateMultipleOccurrences(t *testing.T) {
+	// Candidate 9 has two buffers: after the first 0 and after 1.
+	master := []int{0, 1, 0, 2}
+	shared := map[int]bool{0: true, 1: true, 2: true}
+	candSeq := []int{0, 9, 1, 0, 2, 9} // cyclic: second 9 precedes first 0
+	got := insertCandidate(master, candSeq, 9, shared)
+	count := 0
+	for _, v := range got {
+		if v == 9 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("both occurrences must be inserted: %v", got)
+	}
+}
+
+func TestInsertCandidateUnknownAnchorsDropped(t *testing.T) {
+	master := []int{0, 1, 2}
+	shared := map[int]bool{0: true, 1: true, 2: true}
+	// Anchors (7,8) are not shared; occurrence must be dropped silently.
+	candSeq := []int{7, 9, 8}
+	got := insertCandidate(master, candSeq, 9, shared)
+	if len(got) != 3 {
+		t.Fatalf("unanchored occurrence must be dropped: %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named function that runs the relevant
+// attack or defense pipeline and returns formatted rows; cmd/experiments
+// prints them and the root benchmark suite re-runs scaled versions.
+//
+// Two scales are supported. Demo scale (the default) shrinks the machine
+// so each experiment finishes in seconds on one core while keeping every
+// structural ratio of the paper machine (ring size == page-aligned set
+// count, 2 buffers per page, 1 GbE wire). Paper scale uses the full
+// 20 MB / 8-slice / 20-way LLC and 256-descriptor ring.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/chase"
+	"repro/internal/nic"
+	"repro/internal/probe"
+	"repro/internal/testbed"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Demo is a structurally faithful scaled-down machine (64 aligned
+	// sets, 64-buffer ring, 8-way cache).
+	Demo Scale = iota
+	// Paper is the full paper machine (256 aligned sets, 256 buffers,
+	// 20-way 20 MB LLC). Offline-phase experiments take minutes.
+	Paper
+)
+
+func (s Scale) String() string {
+	if s == Paper {
+		return "paper"
+	}
+	return "demo"
+}
+
+// Result is one experiment's output: a title, headed rows, and free-form
+// notes comparing against the paper's reported numbers.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the result as an aligned text table.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a runnable evaluation item.
+type Experiment struct {
+	ID    string
+	Short string
+	Run   func(scale Scale, seed int64) (Result, error)
+}
+
+// All returns the registry of experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig5", "ring buffers per page-aligned cache set (one driver instance)", Fig5},
+		{"fig6", "mapping distribution over 1000 driver instances", Fig6},
+		{"fig7", "page-aligned set activity: idle vs receiving", Fig7},
+		{"fig8", "packet-size detection matrix (blocks 0-3)", Fig8},
+		{"table1", "ring sequence recovery quality", Table1},
+		{"fig10", "covert channel decoded symbol trace", Fig10},
+		{"fig11", "covert channel bandwidth/error vs probe rate", Fig11},
+		{"fig12ab", "multi-buffer covert channel scaling", Fig12ab},
+		{"fig12cd", "full-chasing channel: out-of-sync and error vs rate", Fig12cd},
+		{"fig13", "hotcrp login fingerprint traces", Fig13},
+		{"fingerprint", "closed-world website fingerprinting accuracy", Fingerprint},
+		{"table2", "baseline processor configuration", Table2},
+		{"fig14", "Nginx throughput: adaptive partitioning vs DDIO", Fig14},
+		{"fig15", "memory traffic and LLC miss rate by scheme", Fig15},
+		{"fig16", "HTTP tail latency by defense scheme", Fig16},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// machineOptions returns testbed options for the scale.
+func machineOptions(scale Scale, seed int64) testbed.Options {
+	opts := testbed.DefaultOptions(seed)
+	switch scale {
+	case Paper:
+		opts.Cache = cache.PaperConfig()
+		opts.NIC = nic.DefaultConfig() // ring 256
+	default:
+		// 2 slices x 2048 sets x 8 ways = 2 MB; 64 aligned sets, ring 64.
+		opts.Cache = cache.ScaledConfig(2, 2048, 8)
+		opts.NIC = nic.DefaultConfig()
+		opts.NIC.RingSize = 64
+	}
+	opts.NoiseRate = 20_000
+	opts.TimerNoise = 4
+	return opts
+}
+
+func spyPages(opts testbed.Options) int {
+	return opts.Cache.AlignedSetCount() * opts.Cache.Ways * 3
+}
+
+// attackRig assembles the machine plus offline-phase outputs shared by the
+// attack experiments.
+type attackRig struct {
+	tb     *testbed.Testbed
+	spy    *probe.Spy
+	groups []probe.EvictionSet
+	ccfg   cache.Config
+}
+
+func newAttackRig(scale Scale, seed int64) (*attackRig, error) {
+	opts := machineOptions(scale, seed)
+	tb, err := testbed.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	spy, err := probe.NewSpy(tb, spyPages(opts))
+	if err != nil {
+		return nil, err
+	}
+	groups, err := spy.BuildAlignedEvictionSets(opts.Cache.Ways)
+	if err != nil {
+		return nil, err
+	}
+	return &attackRig{tb: tb, spy: spy, groups: groups, ccfg: tb.Cache().Config()}, nil
+}
+
+// canonical maps group ids to canonical aligned-set indices (ground-truth
+// comparisons only).
+func (r *attackRig) canonical() map[int]int {
+	m := make(map[int]int, len(r.groups))
+	for _, g := range r.groups {
+		m[g.ID] = r.ccfg.AlignedIndexOf(r.ccfg.GlobalSet(g.Lines[0]))
+	}
+	return m
+}
+
+// groundTruthRing returns the true ring as group ids.
+func (r *attackRig) groundTruthRing() []int {
+	byCanon := map[int]int{}
+	for _, g := range r.groups {
+		byCanon[r.ccfg.AlignedIndexOf(r.ccfg.GlobalSet(g.Lines[0]))] = g.ID
+	}
+	truth := r.tb.NIC().RingAlignedSets(r.ccfg)
+	ring := make([]int, len(truth))
+	for i, s := range truth {
+		ring[i] = byCanon[s]
+	}
+	return ring
+}
+
+// restrictTruth builds the canonical ground-truth ring restricted to the
+// recovered alphabet for Table 1 evaluation.
+func restrictTruth(truth []int, keep map[int]bool) []int {
+	return chase.CollapseRuns(chase.FilterTruth(truth, keep))
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

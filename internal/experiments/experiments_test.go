@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	want := []string{
+		"fig5", "fig6", "fig7", "fig8", "table1",
+		"fig10", "fig11", "fig12ab", "fig12cd",
+		"fig13", "fingerprint", "table2", "fig14", "fig15", "fig16",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("position %d: %s want %s (paper order)", i, all[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) not found", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id must not resolve")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	out := r.Format()
+	for _, want := range []string{"== x: t ==", "long-header", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQuickExperimentsRun smoke-tests the cheap experiments end to end at
+// demo scale; the expensive ones are covered by cmd/experiments runs and
+// the benchmark suite.
+func TestQuickExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig5", "fig7", "table2"} {
+		e, _ := ByID(id)
+		res, err := e.Run(Demo, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Demo.String() != "demo" || Paper.String() != "paper" {
+		t.Error("scale names")
+	}
+}
+
+func TestMachineOptionsShapes(t *testing.T) {
+	demo := machineOptions(Demo, 1)
+	if demo.Cache.AlignedSetCount() != demo.NIC.RingSize {
+		t.Errorf("demo must keep ring == aligned sets: %d vs %d",
+			demo.NIC.RingSize, demo.Cache.AlignedSetCount())
+	}
+	paper := machineOptions(Paper, 1)
+	if paper.Cache.SizeBytes() != 20<<20 || paper.NIC.RingSize != 256 {
+		t.Error("paper scale must be the full machine")
+	}
+}

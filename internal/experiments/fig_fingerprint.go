@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fingerprint"
+	"repro/internal/sim"
+	"repro/internal/webtrace"
+)
+
+// Fig13 captures the hotcrp login fingerprints: the true packet-size
+// classes of a successful and a failed login versus what the chaser
+// recovers for the first 100 packets.
+func Fig13(scale Scale, seed int64) (Result, error) {
+	res := Result{
+		ID:     "fig13",
+		Title:  "hotcrp login traces: true vs recovered size classes (first 100 packets)",
+		Header: []string{"trace", "classes (1..4, 4 = 4+)"},
+	}
+	for _, site := range []webtrace.Site{webtrace.HotCRPLoginSuccess(), webtrace.HotCRPLoginFailure()} {
+		rig, ring, err := covertRig(scale, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		atk := &fingerprint.Attack{Spy: rig.spy, Groups: rig.groups, Ring: ring, TraceLen: 100}
+		tr := site.Generate(sim.Derive(seed, site.Name), webtrace.DefaultNoise())
+		classes, _ := atk.Observe(tr)
+		truth := tr.SizeClasses(4)
+		if len(truth) > 100 {
+			truth = truth[:100]
+		}
+		res.Rows = append(res.Rows,
+			[]string{site.Name + " (true)", classString(truth)},
+			[]string{site.Name + " (recovered)", classString(classes)})
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: the successful login shows a long 4+ run (dashboard page); the failure is short and small")
+	return res, nil
+}
+
+// Fingerprint runs the §V closed-world evaluation with DDIO on and off.
+func Fingerprint(scale Scale, seed int64) (Result, error) {
+	trials := 40
+	if scale == Paper {
+		trials = 1000
+	}
+	res := Result{
+		ID:     "fingerprint",
+		Title:  fmt.Sprintf("closed-world fingerprinting accuracy (%d trials, 5 sites)", trials),
+		Header: []string{"configuration", "accuracy", "paper"},
+	}
+	for _, ddio := range []bool{true, false} {
+		opts := machineOptions(scale, seed)
+		opts.Cache.DDIO = ddio
+		rig, err := newAttackRigOpts(opts)
+		if err != nil {
+			return Result{}, err
+		}
+		atk := &fingerprint.Attack{
+			Spy: rig.spy, Groups: rig.groups, Ring: rig.groundTruthRing(), TraceLen: 100,
+		}
+		ev := fingerprint.EvaluateClosedWorld(atk, webtrace.ClosedWorld(), webtrace.DefaultNoise(), trials, sim.Derive(seed, fmt.Sprint("fp", ddio)))
+		name, paper := "with DDIO", "89.7%"
+		if !ddio {
+			name, paper = "without DDIO", "86.5%"
+		}
+		res.Rows = append(res.Rows, []string{name, pct(ev.Accuracy()), paper})
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: high closed-world accuracy, slightly lower without DDIO (coarser, noisier size recovery)")
+	return res, nil
+}
+
+func classString(classes []int) string {
+	var b strings.Builder
+	for _, c := range classes {
+		if c >= 4 {
+			b.WriteByte('4')
+		} else {
+			fmt.Fprintf(&b, "%d", c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+// Package fingerprint implements the §V website fingerprinting attack: the
+// spy chases packets through the recovered ring, records each packet's
+// size class, and matches the resulting vector against representative
+// traces with a cross-correlation classifier.
+package fingerprint
+
+import (
+	"math"
+
+	"repro/internal/chase"
+	"repro/internal/netmodel"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/webtrace"
+)
+
+// BoundaryGap is the inter-packet gap, in cycles, above which two packets
+// are considered to belong to different bursts (HTTP objects). In-burst
+// spacing at 1 GbE is ~40k cycles per MTU frame; object boundaries in page
+// loads are RTT-scale pauses well above 100k cycles.
+const BoundaryGap = 100_000
+
+// Features turns the spy's per-packet observations into the classifier's
+// feature sequence: one point per burst, carrying the burst's length in
+// packets, its final packet's size class, and the log of the boundary gap
+// that ended it. Size classes alone are mostly runs of "4+" at MTU and
+// carry little signal; the burst structure is the combination of "packet
+// sizes with the temporal information that Packet Chasing obtains" that
+// the paper says distinguishes webpages (§V).
+func Features(classes []int, gaps []uint64) [][]float64 {
+	var out [][]float64
+	runLen := 0
+	tail := 0.0
+	flush := func(gap uint64) {
+		if runLen == 0 {
+			return
+		}
+		g := 0.0
+		if gap > 0 {
+			g = math.Log10(float64(gap))
+		}
+		out = append(out, []float64{float64(runLen), tail, g})
+		runLen = 0
+	}
+	for i, c := range classes {
+		if i > 0 && i < len(gaps) && gaps[i] > BoundaryGap {
+			flush(gaps[i])
+		}
+		runLen++
+		tail = float64(c)
+	}
+	flush(0)
+	return out
+}
+
+// Representative is a site's reference feature sequence (§V builds a
+// representative trace per site; we use the medoid of offline trials).
+type Representative struct {
+	Name   string
+	Vector [][]float64
+}
+
+// Classifier tuning shared by representative building and classification:
+// burst length differences are cheap per frame, tail classes moderate,
+// boundary-gap magnitudes matter, and dropping a whole burst is expensive.
+var featureWeights = []float64{0.3, 0.5, 1.0}
+
+const (
+	skipPenalty = 2.0
+	alignBand   = 6
+)
+
+// trimPackets truncates a burst-feature sequence to at most n packets of
+// coverage (the attack only captures the first n packets of a page).
+func trimPackets(feat [][]float64, n int) [][]float64 {
+	covered := 0
+	for i, p := range feat {
+		covered += int(p[0])
+		if covered >= n {
+			return feat[:i+1]
+		}
+	}
+	return feat
+}
+
+// BuildRepresentative picks the medoid of trials offline renderings of the
+// site — the trial whose DTW distance to the other trials is smallest —
+// truncated to n packets. A medoid keeps the object-boundary structure
+// sharp where a point-wise average would smear it across the positions
+// noise shifts it to; it plays the same role as the paper's representative
+// trace.
+func BuildRepresentative(site webtrace.Site, noise webtrace.Noise, trials, n int, rng *sim.RNG) Representative {
+	if trials < 1 {
+		trials = 1
+	}
+	feats := make([][][]float64, trials)
+	for t := 0; t < trials; t++ {
+		tr := site.Generate(rng, noise)
+		f := trimPackets(Features(tr.SizeClasses(4), tr.Gaps), n)
+		feats[t] = f
+	}
+	best, bestSum := 0, math.Inf(1)
+	for i := range feats {
+		var sum float64
+		for j := range feats {
+			if i == j {
+				continue
+			}
+			sum += stats.AlignDistance(feats[i], feats[j], featureWeights, skipPenalty, alignBand)
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return Representative{Name: site.Name, Vector: feats[best]}
+}
+
+// Classifier matches observed feature vectors against representatives by
+// peak normalized cross-correlation (§V). Page loads share a known origin
+// (the capture starts with the page), so the lag search is bounded: the
+// tolerance absorbs retransmitted/inserted packets without letting every
+// object boundary align with every other.
+type Classifier struct {
+	Reps []Representative
+	// MaxLag bounds the correlation lag search, in feature elements
+	// (2 per packet). Zero means a strict zero-lag comparison.
+	MaxLag int
+}
+
+// Classify returns the best-matching representative's name and its score
+// (negated distance; higher is better). Matching is a banded alignment of
+// burst features: correlation alone cannot absorb the cumulative position
+// drift that lost and inserted packets cause, which is exactly the
+// improvement the paper suggests ("a classifier that is tolerant of noise
+// as well as slight compression or decompression of the vectors would be
+// likely to improve these results", §V).
+func (c *Classifier) Classify(features [][]float64) (string, float64) {
+	band := c.MaxLag
+	if band <= 0 {
+		band = alignBand
+	}
+	bestName := ""
+	bestScore := math.Inf(-1)
+	for _, r := range c.Reps {
+		d := stats.AlignDistance(features, r.Vector, featureWeights, skipPenalty, band)
+		if score := -d; score > bestScore {
+			bestName, bestScore = r.Name, score
+		}
+	}
+	return bestName, bestScore
+}
+
+// Attack bundles the online side: a chaser over the recovered ring.
+type Attack struct {
+	Spy    *probe.Spy
+	Groups []probe.EvictionSet
+	Ring   []int
+	// TraceLen is how many packets to capture per page load (paper's
+	// figures use the first 100).
+	TraceLen int
+}
+
+// Observe replays one page load on the victim's connection and captures
+// the spy's view of it: per-packet size classes and inter-detection gaps.
+func (a *Attack) Observe(tr webtrace.Trace) (classes []int, gaps []uint64) {
+	tb := a.Spy.Testbed()
+	// Build (and calibrate) the chaser before the page load starts:
+	// monitor construction costs simulated time, and a page that starts
+	// during it would stream past unobserved.
+	cfg := chase.DefaultChaserConfig()
+	cfg.SyncTimeout = 8_000_000
+	ch := chase.NewChaser(a.Spy, a.Groups, a.Ring, cfg)
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	tb.SetTraffic(tr.Source(wire, tb.Clock().Now()+50_000))
+	want := a.TraceLen
+	if len(tr.Sizes) < want {
+		want = len(tr.Sizes)
+	}
+	obs := ch.Chase(want)
+	// Let the remainder of the page drain so the next trial starts clean
+	// and the chaser's ring position stays aligned.
+	tb.DrainTraffic()
+	a.Ring = rotateRing(a.Ring, ch.Position())
+
+	gaps = make([]uint64, len(obs))
+	for i := range obs {
+		if i > 0 {
+			gaps[i] = obs[i].At - obs[i-1].At
+		}
+	}
+	return chase.SizeTrace(obs), gaps
+}
+
+// rotateRing re-anchors the ring at the chaser's final position so a fresh
+// chaser starts where the last one stopped... except packets that drained
+// after the capture also advanced the hardware ring; the next Observe
+// resynchronizes via its timeout path. Rotation just shortens that search.
+func rotateRing(ring []int, pos int) []int {
+	if len(ring) == 0 {
+		return ring
+	}
+	pos %= len(ring)
+	out := make([]int, 0, len(ring))
+	out = append(out, ring[pos:]...)
+	out = append(out, ring[:pos]...)
+	return out
+}
+
+// EvalResult is a closed-world evaluation outcome.
+type EvalResult struct {
+	Trials, Correct int
+	// PerSite maps site name to correct/total.
+	PerSite map[string][2]int
+}
+
+// Accuracy returns the fraction of correctly classified trials.
+func (e EvalResult) Accuracy() float64 {
+	if e.Trials == 0 {
+		return 0
+	}
+	return float64(e.Correct) / float64(e.Trials)
+}
+
+// EvaluateClosedWorld runs the full §V experiment: representatives are
+// built offline from ideal traces, then each trial replays a random site
+// and the attack classifies the chased observation.
+func EvaluateClosedWorld(a *Attack, sites []webtrace.Site, noise webtrace.Noise, trials int, rng *sim.RNG) EvalResult {
+	reps := make([]Representative, len(sites))
+	for i, s := range sites {
+		reps[i] = BuildRepresentative(s, noise, 20, a.TraceLen, sim.Derive(rng.Int63(), "rep-"+s.Name))
+	}
+	cls := &Classifier{Reps: reps}
+	res := EvalResult{PerSite: map[string][2]int{}}
+	for t := 0; t < trials; t++ {
+		site := sites[rng.Intn(len(sites))]
+		tr := site.Generate(rng, noise)
+		classes, gaps := a.Observe(tr)
+		got, _ := cls.Classify(Features(classes, gaps))
+		res.Trials++
+		ps := res.PerSite[site.Name]
+		ps[1]++
+		if got == site.Name {
+			res.Correct++
+			ps[0]++
+		}
+		res.PerSite[site.Name] = ps
+	}
+	return res
+}

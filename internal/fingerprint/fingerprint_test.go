@@ -1,0 +1,137 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/nic"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/webtrace"
+)
+
+func fpWorld(t *testing.T, seed int64, ddio bool) *Attack {
+	t.Helper()
+	opts := testbed.DefaultOptions(seed)
+	opts.Cache = cache.ScaledConfig(2, 1024, 4)
+	opts.Cache.DDIO = ddio
+	opts.NIC = nic.DefaultConfig()
+	opts.NIC.RingSize = 32
+	opts.NoiseRate = 0
+	opts.TimerNoise = 0
+	opts.MemBytes = 1 << 28
+	tb, err := testbed.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy, err := probe.NewSpy(tb, 32*4*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := spy.BuildAlignedEvictionSets(opts.Cache.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := tb.Cache().Config()
+	byCanon := map[int]int{}
+	for _, g := range groups {
+		byCanon[ccfg.AlignedIndexOf(ccfg.GlobalSet(g.Lines[0]))] = g.ID
+	}
+	var ring []int
+	for _, s := range tb.NIC().RingAlignedSets(ccfg) {
+		ring = append(ring, byCanon[s])
+	}
+	return &Attack{Spy: spy, Groups: groups, Ring: ring, TraceLen: 60}
+}
+
+func TestClassifierSeparatesIdealTraces(t *testing.T) {
+	// Sanity: with no chasing involved, representatives classify their
+	// own noisy renderings correctly almost always.
+	sites := webtrace.ClosedWorld()
+	noise := webtrace.DefaultNoise()
+	reps := make([]Representative, len(sites))
+	for i, s := range sites {
+		reps[i] = BuildRepresentative(s, noise, 20, 80, sim.Derive(100, "rep-"+s.Name))
+	}
+	cls := &Classifier{Reps: reps}
+	rng := sim.NewRNG(101)
+	correct, trials := 0, 60
+	for k := 0; k < trials; k++ {
+		site := sites[k%len(sites)]
+		tr := site.Generate(rng, noise)
+		feat := trimPackets(Features(tr.SizeClasses(4), tr.Gaps), 80)
+		if got, _ := cls.Classify(feat); got == site.Name {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(trials)
+	if acc < 0.9 {
+		t.Errorf("ideal-trace classification accuracy %.0f%% too low", 100*acc)
+	}
+}
+
+func TestObserveCapturesSizeClasses(t *testing.T) {
+	a := fpWorld(t, 41, true)
+	tr := webtrace.HotCRPLoginSuccess().Generate(sim.NewRNG(1), webtrace.Noise{})
+	classes, gaps := a.Observe(tr)
+	if len(classes) < a.TraceLen/2 {
+		t.Fatalf("observed only %d of %d packets", len(classes), a.TraceLen)
+	}
+	// A successful login is dominated by MTU frames: most observations
+	// must be the 4+ class.
+	big := 0
+	for _, c := range classes {
+		if c >= 4 {
+			big++
+		}
+	}
+	if big < len(classes)/2 {
+		t.Errorf("only %d/%d observations are 4+; size recovery broken", big, len(classes))
+	}
+	if len(gaps) != len(classes) {
+		t.Error("gaps and classes must align")
+	}
+}
+
+func TestClosedWorldAccuracyDDIO(t *testing.T) {
+	a := fpWorld(t, 42, true)
+	res := EvaluateClosedWorld(a, webtrace.ClosedWorld(), webtrace.DefaultNoise(), 15, sim.NewRNG(7))
+	t.Logf("DDIO accuracy: %.0f%% (%d/%d)", 100*res.Accuracy(), res.Correct, res.Trials)
+	if res.Accuracy() < 0.6 {
+		t.Errorf("closed-world accuracy %.0f%% too low", 100*res.Accuracy())
+	}
+}
+
+func TestClosedWorldAccuracyNoDDIO(t *testing.T) {
+	a := fpWorld(t, 43, false)
+	res := EvaluateClosedWorld(a, webtrace.ClosedWorld(), webtrace.DefaultNoise(), 15, sim.NewRNG(8))
+	t.Logf("no-DDIO accuracy: %.0f%% (%d/%d)", 100*res.Accuracy(), res.Correct, res.Trials)
+	// The attack still works without DDIO (§IV-d), at reduced fidelity.
+	if res.Accuracy() < 0.4 {
+		t.Errorf("no-DDIO accuracy %.0f%% too low; attack should survive", 100*res.Accuracy())
+	}
+}
+
+func TestRotateRing(t *testing.T) {
+	r := rotateRing([]int{0, 1, 2, 3}, 2)
+	want := []int{2, 3, 0, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("got %v", r)
+		}
+	}
+	if len(rotateRing(nil, 3)) != 0 {
+		t.Error("empty ring")
+	}
+}
+
+func TestEvalResultAccuracy(t *testing.T) {
+	e := EvalResult{Trials: 10, Correct: 9}
+	if e.Accuracy() != 0.9 {
+		t.Error("accuracy math")
+	}
+	if (EvalResult{}).Accuracy() != 0 {
+		t.Error("empty accuracy")
+	}
+}

@@ -1,0 +1,173 @@
+// Package mem models the machine's physical address space and the two views
+// the Packet Chasing attack cares about: the kernel page allocator that
+// hands the NIC driver its rx-ring buffer pages, and the virtual mappings a
+// user-space spy process obtains for building eviction sets.
+//
+// Only addresses are modeled, never data contents — the attack observes
+// cache-set occupancy, not payload bytes. Physical frame numbers are handed
+// out in a randomized order, which is what makes the buffer-to-cache-set
+// mapping non-uniform (paper Figs 5 and 6): each 4 KB page lands on one of
+// 256 page-aligned set groups essentially uniformly at random, so the
+// number of ring buffers per group follows a birthday-style distribution.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PageSize is the system page size. The IGB driver packs two 2 KB rx
+// buffers into each 4 KB page (paper §III-A).
+const PageSize = 4096
+
+// LineSize is the cache line size; buffer sizes and packet sizes are
+// expressed in 64-byte blocks throughout the paper.
+const LineSize = 64
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// PageAligned reports whether a sits on a page boundary.
+func (a Addr) PageAligned() bool { return a%PageSize == 0 }
+
+// Line returns the address of the cache line containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// Page returns the address of the page containing a.
+func (a Addr) Page() Addr { return a &^ (PageSize - 1) }
+
+// Allocator is a physical page allocator. Frames are issued in a seeded
+// pseudo-random order to model the state of a long-running kernel buddy
+// allocator; sequential physical allocation would (unrealistically) give
+// the driver a perfectly uniform buffer-to-set mapping.
+type Allocator struct {
+	free     []uint64 // shuffled free frame numbers, consumed from the tail
+	used     map[uint64]bool
+	numPages uint64
+}
+
+// NewAllocator creates an allocator over totalBytes of physical memory,
+// shuffled with the given RNG.
+func NewAllocator(totalBytes uint64, rng *sim.RNG) *Allocator {
+	n := totalBytes / PageSize
+	if n == 0 {
+		panic("mem: allocator needs at least one page")
+	}
+	free := make([]uint64, n)
+	for i := range free {
+		free[i] = uint64(i)
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	return &Allocator{free: free, used: make(map[uint64]bool), numPages: n}
+}
+
+// TotalPages returns the number of physical pages.
+func (al *Allocator) TotalPages() uint64 { return al.numPages }
+
+// FreePages returns the number of currently free pages.
+func (al *Allocator) FreePages() int { return len(al.free) }
+
+// AllocPage returns the base address of a newly allocated physical page.
+func (al *Allocator) AllocPage() (Addr, error) {
+	if len(al.free) == 0 {
+		return 0, fmt.Errorf("mem: out of physical pages (%d total)", al.numPages)
+	}
+	pfn := al.free[len(al.free)-1]
+	al.free = al.free[:len(al.free)-1]
+	al.used[pfn] = true
+	return Addr(pfn * PageSize), nil
+}
+
+// AllocPageRandom returns a page drawn uniformly from the free list. The
+// plain AllocPage is effectively LIFO once pages cycle (like a real buddy
+// allocator preferring cache-hot pages), which would quietly defeat the
+// §VI-b ring-randomization defense: a "fresh" buffer would land on the
+// page just vacated. Randomized placement is the point of that defense,
+// so it allocates through this method.
+func (al *Allocator) AllocPageRandom(rng *sim.RNG) (Addr, error) {
+	if len(al.free) == 0 {
+		return 0, fmt.Errorf("mem: out of physical pages (%d total)", al.numPages)
+	}
+	i := rng.Intn(len(al.free))
+	pfn := al.free[i]
+	al.free[i] = al.free[len(al.free)-1]
+	al.free = al.free[:len(al.free)-1]
+	al.used[pfn] = true
+	return Addr(pfn * PageSize), nil
+}
+
+// AllocPages allocates n pages, returning their base addresses.
+func (al *Allocator) AllocPages(n int) ([]Addr, error) {
+	out := make([]Addr, 0, n)
+	for i := 0; i < n; i++ {
+		a, err := al.AllocPage()
+		if err != nil {
+			// Roll back partial allocation.
+			for _, p := range out {
+				al.FreePage(p)
+			}
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// FreePage returns a page to the allocator. Freeing an unallocated or
+// unaligned address panics: both indicate a driver-model bug.
+func (al *Allocator) FreePage(a Addr) {
+	if !a.PageAligned() {
+		panic(fmt.Sprintf("mem: freeing unaligned address %#x", uint64(a)))
+	}
+	pfn := uint64(a) / PageSize
+	if !al.used[pfn] {
+		panic(fmt.Sprintf("mem: double free of frame %d", pfn))
+	}
+	delete(al.used, pfn)
+	al.free = append(al.free, pfn)
+}
+
+// Region is a contiguous virtual mapping owned by the spy process. The spy
+// addresses it by offset; the physical frames backing it are known to the
+// simulator but are deliberately not exposed through the methods the attack
+// code uses — the attack must discover conflicts through timing, exactly as
+// on real hardware where user space cannot read /proc/self/pagemap without
+// privileges.
+type Region struct {
+	pages []Addr
+}
+
+// NewRegion maps n pages of fresh physical memory.
+func NewRegion(al *Allocator, n int) (*Region, error) {
+	pages, err := al.AllocPages(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{pages: pages}, nil
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() uint64 { return uint64(len(r.pages)) * PageSize }
+
+// Pages returns the number of mapped pages.
+func (r *Region) Pages() int { return len(r.pages) }
+
+// Translate converts a virtual offset within the region to the backing
+// physical address. This is the MMU's job; the spy never calls it directly,
+// it is used by the cache model when the spy touches memory.
+func (r *Region) Translate(off uint64) Addr {
+	pageIdx := off / PageSize
+	if pageIdx >= uint64(len(r.pages)) {
+		panic(fmt.Sprintf("mem: offset %#x beyond region of %d pages", off, len(r.pages)))
+	}
+	return r.pages[pageIdx] + Addr(off%PageSize)
+}
+
+// Release returns all backing frames to the allocator.
+func (r *Region) Release(al *Allocator) {
+	for _, p := range r.pages {
+		al.FreePage(p)
+	}
+	r.pages = nil
+}

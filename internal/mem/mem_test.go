@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAllocatorBasics(t *testing.T) {
+	al := NewAllocator(16*PageSize, sim.NewRNG(1))
+	if al.TotalPages() != 16 {
+		t.Fatalf("total pages %d want 16", al.TotalPages())
+	}
+	a, err := al.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.PageAligned() {
+		t.Errorf("allocated address %#x not page aligned", uint64(a))
+	}
+	if al.FreePages() != 15 {
+		t.Errorf("free pages %d want 15", al.FreePages())
+	}
+	al.FreePage(a)
+	if al.FreePages() != 16 {
+		t.Errorf("free pages after free %d want 16", al.FreePages())
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	al := NewAllocator(4*PageSize, sim.NewRNG(1))
+	if _, err := al.AllocPages(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.AllocPage(); err == nil {
+		t.Error("expected exhaustion error")
+	}
+}
+
+func TestAllocPagesRollsBackOnFailure(t *testing.T) {
+	al := NewAllocator(4*PageSize, sim.NewRNG(1))
+	if _, err := al.AllocPages(10); err == nil {
+		t.Fatal("expected failure")
+	}
+	if al.FreePages() != 4 {
+		t.Errorf("partial allocation leaked: %d free want 4", al.FreePages())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	al := NewAllocator(4*PageSize, sim.NewRNG(1))
+	a, _ := al.AllocPage()
+	al.FreePage(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free must panic")
+		}
+	}()
+	al.FreePage(a)
+}
+
+func TestUnalignedFreePanics(t *testing.T) {
+	al := NewAllocator(4*PageSize, sim.NewRNG(1))
+	a, _ := al.AllocPage()
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned free must panic")
+		}
+	}()
+	al.FreePage(a + 64)
+}
+
+func TestAllocationIsRandomized(t *testing.T) {
+	al := NewAllocator(1024*PageSize, sim.NewRNG(7))
+	pages, _ := al.AllocPages(64)
+	ascending := 0
+	for i := 1; i < len(pages); i++ {
+		if pages[i] > pages[i-1] {
+			ascending++
+		}
+	}
+	// A shuffled sequence should be near 50% ascending pairs; sequential
+	// allocation would be 100%.
+	if ascending > 55 {
+		t.Errorf("allocation order looks sequential: %d/63 ascending", ascending)
+	}
+}
+
+func TestAllocationUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		al := NewAllocator(256*PageSize, sim.NewRNG(seed))
+		pages, err := al.AllocPages(256)
+		if err != nil {
+			return false
+		}
+		seen := make(map[Addr]bool)
+		for _, p := range pages {
+			if seen[p] || !p.PageAligned() {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionTranslate(t *testing.T) {
+	al := NewAllocator(16*PageSize, sim.NewRNG(3))
+	r, err := NewRegion(al, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 4*PageSize {
+		t.Errorf("size %d", r.Size())
+	}
+	// Offsets within one page stay within the backing page.
+	base := r.Translate(PageSize)
+	if r.Translate(PageSize+100) != base+100 {
+		t.Error("intra-page offset must be preserved")
+	}
+	// Translation is page-granular, not contiguous across pages in general.
+	for off := uint64(0); off < r.Size(); off += PageSize {
+		if !r.Translate(off).PageAligned() {
+			t.Error("page starts must translate to page-aligned physical")
+		}
+	}
+	r.Release(al)
+	if al.FreePages() != 16 {
+		t.Errorf("release leaked: %d free", al.FreePages())
+	}
+}
+
+func TestRegionOutOfBoundsPanics(t *testing.T) {
+	al := NewAllocator(16*PageSize, sim.NewRNG(3))
+	r, _ := NewRegion(al, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("OOB translate must panic")
+		}
+	}()
+	r.Translate(PageSize)
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if a.Line() != 0x12340 {
+		t.Errorf("line %#x", uint64(a.Line()))
+	}
+	if a.Page() != 0x12000 {
+		t.Errorf("page %#x", uint64(a.Page()))
+	}
+	if a.PageAligned() {
+		t.Error("0x12345 is not page aligned")
+	}
+	if !Addr(0x12000).PageAligned() {
+		t.Error("0x12000 is page aligned")
+	}
+}

@@ -1,0 +1,308 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+type rig struct {
+	cache *cache.Cache
+	alloc *mem.Allocator
+	clock *sim.Clock
+	nic   *NIC
+}
+
+func newRig(t *testing.T, mutate func(*Config), ccfg *cache.Config) *rig {
+	t.Helper()
+	clock := sim.NewClock()
+	cfg := cache.PaperConfig()
+	if ccfg != nil {
+		cfg = *ccfg
+	}
+	c := cache.New(cfg, clock)
+	alloc := mem.NewAllocator(1<<30, sim.NewRNG(42))
+	ncfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&ncfg)
+	}
+	n, err := New(ncfg, c, alloc, clock, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{cache: c, alloc: alloc, clock: clock, nic: n}
+}
+
+func frame(seq uint64, size int, arrival uint64, known bool) netmodel.Frame {
+	return netmodel.Frame{Seq: seq, Size: size, Arrival: arrival, Known: known}
+}
+
+func (r *rig) deliver(f netmodel.Frame) {
+	if f.Arrival > r.clock.Now() {
+		r.clock.AdvanceTo(f.Arrival)
+	}
+	r.nic.Receive(f)
+	r.nic.ProcessDriver(r.clock.Now() + r.nic.Config().DriverLatency)
+}
+
+func TestInitAllocatesDistinctPages(t *testing.T) {
+	r := newRig(t, nil, nil)
+	seen := map[mem.Addr]bool{}
+	for i := 0; i < r.nic.Config().RingSize; i++ {
+		p := r.nic.BufferPage(i)
+		if !p.PageAligned() {
+			t.Fatalf("buffer %d page %#x not aligned", i, uint64(p))
+		}
+		if seen[p] {
+			t.Fatalf("buffer %d shares page %#x", i, uint64(p))
+		}
+		seen[p] = true
+	}
+}
+
+func TestDMAWritesBufferBlocks(t *testing.T) {
+	r := newRig(t, nil, nil)
+	buf := r.nic.BufferPage(0)
+	r.nic.Receive(frame(0, 256, 0, false))
+	for b := 0; b < 4; b++ {
+		if !r.cache.Contains(uint64(buf) + uint64(b*64)) {
+			t.Errorf("block %d not in cache after DDIO DMA", b)
+		}
+	}
+	if r.cache.Contains(uint64(buf) + 4*64) {
+		t.Error("DMA wrote beyond the packet size")
+	}
+}
+
+func TestDriverProcessingOrderAndLatency(t *testing.T) {
+	r := newRig(t, nil, nil)
+	r.nic.Receive(frame(0, 64, 100, false))
+	r.nic.ProcessDriver(100) // before dueAt: nothing processed
+	if r.nic.PendingDriverWork() != 1 {
+		t.Fatal("packet should still be pending")
+	}
+	r.nic.ProcessDriver(100 + r.nic.Config().DriverLatency)
+	if r.nic.PendingDriverWork() != 0 {
+		t.Fatal("packet should be processed")
+	}
+	if r.nic.Stats().Dropped != 1 {
+		t.Error("unknown-protocol frame must be dropped")
+	}
+}
+
+func TestRingOrderStableUnderRecycling(t *testing.T) {
+	// §III-A: the driver reuses buffers, so the page of each ring slot
+	// never changes, no matter the traffic mix.
+	r := newRig(t, nil, nil)
+	before := make([]mem.Addr, r.nic.Config().RingSize)
+	for i := range before {
+		before[i] = r.nic.BufferPage(i)
+	}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		size := 64 + rng.Intn(1400)
+		r.deliver(frame(uint64(i), size, uint64(i)*10_000, rng.Bernoulli(0.5)))
+	}
+	for i := range before {
+		if r.nic.BufferPage(i) != before[i] {
+			t.Fatalf("ring slot %d changed page; order not stable", i)
+		}
+	}
+}
+
+func TestSmallPacketCopiedAndReused(t *testing.T) {
+	r := newRig(t, nil, nil)
+	r.deliver(frame(0, 128, 0, true))
+	st := r.nic.Stats()
+	if st.Copied != 1 || st.Fragged != 0 {
+		t.Errorf("128B known packet must take the copy path: %+v", st)
+	}
+	if st.PageFlips != 0 {
+		t.Error("copy path must not flip the page offset")
+	}
+}
+
+func TestLargePacketFlipsHalfPage(t *testing.T) {
+	r := newRig(t, nil, nil)
+	page := r.nic.BufferPage(0)
+	r.deliver(frame(0, 1000, 0, true))
+	st := r.nic.Stats()
+	if st.Fragged != 1 || st.PageFlips != 1 {
+		t.Errorf("1000B packet must take the frag path and flip: %+v", st)
+	}
+	// After RingSize packets the same descriptor is used again, now with
+	// the second half-page.
+	for i := 1; i < r.nic.Config().RingSize; i++ {
+		r.deliver(frame(uint64(i), 64, uint64(i)*100_000, false))
+	}
+	r.deliver(frame(999, 1000, 99_000_000, true))
+	secondHalf := uint64(page) + 2048
+	if !r.cache.Contains(secondHalf) {
+		t.Error("second large packet to slot 0 must use the flipped half-page")
+	}
+}
+
+func TestPrefetchSecondBlockArtifact(t *testing.T) {
+	// A 1-block packet must still bring block 1 into the cache — the
+	// driver prefetch the paper calls out in Fig 8.
+	r := newRig(t, nil, nil)
+	buf := r.nic.BufferPage(0)
+	r.deliver(frame(0, 64, 0, false))
+	if !r.cache.Contains(uint64(buf) + 64) {
+		t.Error("block 1 must be prefetched even for 1-block packets")
+	}
+	if r.cache.Contains(uint64(buf) + 2*64) {
+		t.Error("block 2 must NOT be touched for 1-block packets")
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.PrefetchSecondBlock = false }, nil)
+	buf := r.nic.BufferPage(0)
+	r.deliver(frame(0, 64, 0, false))
+	if r.cache.Contains(uint64(buf) + 64) {
+		t.Error("prefetch disabled: block 1 must stay cold")
+	}
+}
+
+func TestRingWrapsAround(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.RingSize = 8 }, nil)
+	for i := 0; i < 20; i++ {
+		r.deliver(frame(uint64(i), 64, uint64(i)*1000, false))
+	}
+	if r.nic.NextDescriptor() != 20%8 {
+		t.Errorf("head %d want %d", r.nic.NextDescriptor(), 20%8)
+	}
+	if r.nic.Stats().Received != 20 {
+		t.Error("all frames must be received")
+	}
+}
+
+func TestFullRandomizationChangesPages(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Randomize = RandomizeFull }, nil)
+	p0 := r.nic.BufferPage(0)
+	r.deliver(frame(0, 64, 0, false))
+	if r.nic.BufferPage(0) == p0 {
+		t.Error("full randomization must re-allocate the buffer after use")
+	}
+	if r.alloc.FreePages() == 0 {
+		t.Error("old pages must be freed")
+	}
+}
+
+func TestPeriodicRandomization(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Randomize = RandomizePeriodic
+		c.RandomizeInterval = 10
+	}, nil)
+	before := r.nic.RingAlignedSets(r.cache.Config())
+	for i := 0; i < 9; i++ {
+		r.deliver(frame(uint64(i), 64, uint64(i)*1000, false))
+	}
+	mid := r.nic.RingAlignedSets(r.cache.Config())
+	for i := range before {
+		if mid[i] != before[i] {
+			t.Fatal("ring must be stable before the interval elapses")
+		}
+	}
+	r.deliver(frame(9, 64, 9_000, false))
+	after := r.nic.RingAlignedSets(r.cache.Config())
+	changed := 0
+	for i := range before {
+		if after[i] != before[i] {
+			changed++
+		}
+	}
+	if changed < len(before)/2 {
+		t.Errorf("periodic randomization changed only %d/%d slots", changed, len(before))
+	}
+	if r.nic.Stats().Randomizations != 1 {
+		t.Errorf("randomizations=%d want 1", r.nic.Stats().Randomizations)
+	}
+}
+
+func TestReallocProbBreaksStability(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.ReallocProb = 0.5 }, nil)
+	before := make([]mem.Addr, r.nic.Config().RingSize)
+	for i := range before {
+		before[i] = r.nic.BufferPage(i)
+	}
+	for i := 0; i < 512; i++ {
+		r.deliver(frame(uint64(i), 128, uint64(i)*10_000, true))
+	}
+	changed := 0
+	for i := range before {
+		if r.nic.BufferPage(i) != before[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("with ReallocProb=0.5 some buffers must have moved")
+	}
+}
+
+func TestRingAlignedSetsGroundTruth(t *testing.T) {
+	r := newRig(t, nil, nil)
+	ccfg := r.cache.Config()
+	seq := r.nic.RingAlignedSets(ccfg)
+	if len(seq) != 256 {
+		t.Fatalf("sequence length %d", len(seq))
+	}
+	for i, s := range seq {
+		if s < 0 || s >= ccfg.AlignedSetCount() {
+			t.Fatalf("slot %d aligned set %d out of range", i, s)
+		}
+	}
+}
+
+func TestNoDDIODriverReadsFetchHeader(t *testing.T) {
+	ccfg := cache.PaperConfig()
+	ccfg.DDIO = false
+	r := newRig(t, nil, &ccfg)
+	buf := r.nic.BufferPage(0)
+	r.nic.Receive(frame(0, 256, 0, false))
+	// Without DDIO the DMA write leaves nothing in the cache...
+	if r.cache.Contains(uint64(buf)) {
+		t.Fatal("no-DDIO DMA must not allocate in LLC")
+	}
+	// ...until the driver reads the header (+ prefetch).
+	r.nic.ProcessDriver(r.nic.Config().DriverLatency)
+	if !r.cache.Contains(uint64(buf)) || !r.cache.Contains(uint64(buf)+64) {
+		t.Error("driver header read must demand-fetch blocks 0 and 1")
+	}
+	// Blocks 2+ of a dropped frame stay cold: this is why no-DDIO attacks
+	// lose size resolution on large dropped frames (§IV-d).
+	if r.cache.Contains(uint64(buf) + 2*64) {
+		t.Error("dropped frame payload must stay cold without DDIO")
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		clock := sim.NewClock()
+		c := cache.New(cache.ScaledConfig(4, 512, 8), clock)
+		alloc := mem.NewAllocator(1<<28, sim.NewRNG(seed))
+		n, err := New(DefaultConfig(), c, alloc, clock, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed + 1)
+		for i := 0; i < 400; i++ {
+			f := frame(uint64(i), 64+rng.Intn(1400), uint64(i)*5000, rng.Bernoulli(0.7))
+			clock.AdvanceTo(f.Arrival)
+			n.Receive(f)
+			n.ProcessDriver(clock.Now() + 100_000)
+		}
+		st := n.Stats()
+		return st.Received == 400 &&
+			st.Dropped+st.Copied+st.Fragged == st.Received &&
+			st.Reused+st.Reallocated == st.Received
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

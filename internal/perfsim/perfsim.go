@@ -1,0 +1,176 @@
+// Package perfsim is the reproduction's stand-in for the paper's gem5
+// full-system evaluation (§VII): a trace-driven performance model that runs
+// the three I/O-heavy workloads — a 100 MB file copy, a TCP receiver with
+// tiny payloads, and an Nginx-style web server under wrk2-style load —
+// through the same cache model the attack uses, under each defense scheme.
+//
+// The paper's Table II machine is simulated at the level that matters for
+// Figs 14-16: memory traffic, LLC miss rate, and request service/queueing
+// time. Absolute numbers are not comparable to gem5's; the relative effects
+// (DDIO removes DMA memory traffic, adaptive partitioning costs a few
+// percent, buffer randomization costs allocation work per packet) are
+// structural and survive the substitution.
+package perfsim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// Scheme is a defense configuration under evaluation (the five lines of
+// Fig 16, of which three also appear in Figs 14-15).
+type Scheme int
+
+const (
+	// SchemeDDIO is the vulnerable baseline: stock DDIO, stock driver.
+	SchemeDDIO Scheme = iota
+	// SchemeNoDDIO disables direct cache access: DMA goes to memory.
+	SchemeNoDDIO
+	// SchemeAdaptive is the paper's §VII adaptive I/O cache partitioning.
+	SchemeAdaptive
+	// SchemeFullRandom re-allocates the rx buffer for every packet (§VI-b).
+	SchemeFullRandom
+	// SchemePartial1k re-allocates the whole ring every 1,000 packets.
+	SchemePartial1k
+	// SchemePartial10k re-allocates the whole ring every 10,000 packets.
+	SchemePartial10k
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNoDDIO:
+		return "No DDIO"
+	case SchemeAdaptive:
+		return "Adaptive Partitioning"
+	case SchemeFullRandom:
+		return "Fully Randomized Ring"
+	case SchemePartial1k:
+		return "Partial Randomization (1k)"
+	case SchemePartial10k:
+		return "Partial Randomization (10k)"
+	default:
+		return "Vulnerable Baseline (DDIO)"
+	}
+}
+
+// Per-packet costs of the software mitigations, in cycles, charged to the
+// driver path: a fresh page allocation plus the coherent-memory descriptor
+// rewrite §III-A explains is expensive. Periodic randomization pays the
+// whole-ring cost every interval, amortized here.
+const (
+	reallocCostPerPacket = 2_000
+	ringSize             = 256
+)
+
+// RandomizationOverhead returns the amortized per-packet driver overhead
+// of a scheme, in cycles.
+func RandomizationOverhead(s Scheme) uint64 {
+	switch s {
+	case SchemeFullRandom:
+		return reallocCostPerPacket
+	case SchemePartial1k:
+		return reallocCostPerPacket * ringSize / 1_000
+	case SchemePartial10k:
+		return reallocCostPerPacket * ringSize / 10_000
+	default:
+		return 0
+	}
+}
+
+// Env is one simulated machine instance configured for a scheme.
+type Env struct {
+	Scheme Scheme
+	Clock  *sim.Clock
+	Cache  *cache.Cache
+	Alloc  *mem.Allocator
+	NIC    *nic.NIC
+	RNG    *sim.RNG
+}
+
+// NewEnv builds a machine with the given LLC size (bytes) under a scheme.
+// LLC sizes map to way counts at fixed 8x2048 sets x 64 B geometry, the
+// way Fig 14 shrinks the cache (20 MB -> 20 ways, 11 MB -> 11, 8 MB -> 8).
+func NewEnv(scheme Scheme, llcBytes int, seed int64) (*Env, error) {
+	ways := llcBytes / (8 * 2048 * 64)
+	if ways < 4 {
+		return nil, fmt.Errorf("perfsim: LLC %d too small", llcBytes)
+	}
+	ccfg := cache.PaperConfig()
+	ccfg.Ways = ways
+	switch scheme {
+	case SchemeNoDDIO:
+		ccfg.DDIO = false
+	case SchemeAdaptive:
+		ccfg.Partition = cache.DefaultPartitionConfig()
+	}
+	clock := sim.NewClock()
+	c := cache.New(ccfg, clock)
+	alloc := mem.NewAllocator(1<<30, sim.Derive(seed, "perf-alloc"))
+	ncfg := nic.DefaultConfig()
+	ncfg.RingSize = ringSize
+	switch scheme {
+	case SchemeFullRandom:
+		ncfg.Randomize = nic.RandomizeFull
+	case SchemePartial1k:
+		ncfg.Randomize = nic.RandomizePeriodic
+		ncfg.RandomizeInterval = 1_000
+	case SchemePartial10k:
+		ncfg.Randomize = nic.RandomizePeriodic
+		ncfg.RandomizeInterval = 10_000
+	}
+	n, err := nic.New(ncfg, c, alloc, clock, sim.Derive(seed, "perf-nic"))
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Scheme: scheme,
+		Clock:  clock,
+		Cache:  c,
+		Alloc:  alloc,
+		NIC:    n,
+		RNG:    sim.Derive(seed, "perf-wl"),
+	}, nil
+}
+
+// Metrics aggregates a workload run.
+type Metrics struct {
+	Workload string
+	Scheme   Scheme
+	Cache    cache.Stats
+	// Duration is the simulated run time in cycles.
+	Duration uint64
+	// Requests counts completed work units (requests, packets, or chunks).
+	Requests uint64
+	// Latencies are per-request response times in cycles (Nginx only).
+	Latencies []uint64
+}
+
+// Throughput returns work units per second of simulated time.
+func (m Metrics) Throughput() float64 {
+	if m.Duration == 0 {
+		return 0
+	}
+	return float64(m.Requests) / sim.Seconds(m.Duration)
+}
+
+// NormalizedTraffic returns this run's memory read and write traffic and
+// miss rate, each normalized to the corresponding value of base — the
+// Fig 15 presentation (No-DDIO = 1.0).
+func (m Metrics) NormalizedTraffic(base Metrics) (reads, writes, missRate float64) {
+	norm := func(v, b uint64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(v) / float64(b)
+	}
+	reads = norm(m.Cache.MemReads, base.Cache.MemReads)
+	writes = norm(m.Cache.MemWrites, base.Cache.MemWrites)
+	if br := base.Cache.MissRate(); br > 0 {
+		missRate = m.Cache.MissRate() / br
+	}
+	return reads, writes, missRate
+}

@@ -1,0 +1,131 @@
+package probe
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// EvictionSet is a minimal set of spy addresses that maps to one cache set:
+// accessing all of them replaces every line in that set. ID is an
+// attacker-local label; the attacker has no way to know which physical
+// (slice, set) pair a group corresponds to, and never needs to.
+type EvictionSet struct {
+	ID int
+	// Lines are the probe addresses (one per way).
+	Lines []uint64
+	// Members are all spy pages discovered to be co-mapped with this set
+	// (superset of Lines' pages); kept for diagnostics.
+	Members []uint64
+}
+
+// Offset returns the eviction set for the k-th cache block of the same
+// pages: every line shifted by k*64 bytes. For page-aligned bases and
+// k < 64 the shift flips only low set-index bits, which changes the slice
+// hash by a constant, so co-mapped addresses stay co-mapped — this is why
+// the paper can monitor "the second cache blocks in the pages" with the
+// same 256-group structure (§III-B).
+func (e EvictionSet) Offset(k int) EvictionSet {
+	if k == 0 {
+		return e
+	}
+	off := uint64(k * 64)
+	if off >= mem.PageSize {
+		panic(fmt.Sprintf("probe: block offset %d beyond page", k))
+	}
+	lines := make([]uint64, len(e.Lines))
+	for i, a := range e.Lines {
+		lines[i] = a + off
+	}
+	return EvictionSet{ID: e.ID, Lines: lines, Members: e.Members}
+}
+
+// BuildAlignedEvictionSets discovers the page-aligned conflict groups of
+// the spy's buffer by pure conflict testing and returns one eviction set
+// per group found. ways is the cache associativity (a published part
+// number, known to any attacker).
+//
+// The algorithm is the standard group-testing construction: pick a victim
+// page, check the rest of the pool can evict it, reduce the pool to a
+// minimal ways-sized eviction set by group elimination, then sweep the
+// pool for every other page the minimal set evicts — those form one
+// conflict group. Repeat until the pool is exhausted.
+func (s *Spy) BuildAlignedEvictionSets(ways int) ([]EvictionSet, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("probe: ways must be positive")
+	}
+	pool := make([]uint64, s.region.Pages())
+	for i := range pool {
+		pool[i] = s.PageBase(i)
+	}
+	var groups []EvictionSet
+	for len(pool) > ways {
+		victim := pool[0]
+		rest := append([]uint64(nil), pool[1:]...)
+		if !s.Evicts(rest, victim) {
+			// Not enough co-mapped pages remain for this victim's set;
+			// set it aside and move on.
+			pool = pool[1:]
+			continue
+		}
+		minimal := s.reduce(rest, victim, ways)
+		if len(minimal) != ways || !s.Evicts(minimal, victim) {
+			pool = pool[1:]
+			continue
+		}
+		group := EvictionSet{ID: len(groups), Lines: minimal}
+		group.Members = append(group.Members, victim)
+		inMinimal := make(map[uint64]bool, len(minimal))
+		for _, a := range minimal {
+			inMinimal[a] = true
+		}
+		next := pool[:0]
+		for _, y := range pool[1:] {
+			switch {
+			case inMinimal[y]:
+				group.Members = append(group.Members, y)
+			case s.Evicts(minimal, y):
+				group.Members = append(group.Members, y)
+			default:
+				next = append(next, y)
+			}
+		}
+		pool = next
+		groups = append(groups, group)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("probe: no conflict groups found with %d pages; map more memory", s.region.Pages())
+	}
+	return groups, nil
+}
+
+// reduce shrinks candidates to a minimal eviction set for victim using
+// group elimination: repeatedly split into ways+1 chunks and drop any
+// chunk whose removal still leaves the victim evicted.
+func (s *Spy) reduce(candidates []uint64, victim uint64, ways int) []uint64 {
+	work := append([]uint64(nil), candidates...)
+	for len(work) > ways {
+		// Split into exactly ways+1 chunks: at most ways elements are
+		// needed, so by pigeonhole at least one chunk is disposable.
+		removed := false
+		for g := 0; g <= ways; g++ {
+			lo := g * len(work) / (ways + 1)
+			hi := (g + 1) * len(work) / (ways + 1)
+			if lo == hi {
+				continue
+			}
+			rest := make([]uint64, 0, len(work)-(hi-lo))
+			rest = append(rest, work[:lo]...)
+			rest = append(rest, work[hi:]...)
+			if s.Evicts(rest, victim) {
+				work = rest
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return work
+}

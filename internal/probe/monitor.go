@@ -1,0 +1,138 @@
+package probe
+
+// Monitor runs PRIME+PROBE over a list of eviction sets. Each probe of a
+// set walks its lines, accumulating observed latency; walking doubles as
+// the prime for the next sample, exactly as in the paper's Mastik-based
+// attack. A set shows "activity" when its probe latency indicates at least
+// one of the spy's lines was evicted since the previous probe.
+type Monitor struct {
+	spy        *Spy
+	sets       []EvictionSet
+	thresholds []uint64
+}
+
+// Sample is one probe pass over all monitored sets.
+type Sample struct {
+	// At is the cycle at which the pass started.
+	At uint64
+	// Active[i] reports eviction activity on monitored set i.
+	Active []bool
+	// Latency[i] is the observed probe latency of set i.
+	Latency []uint64
+}
+
+// NewMonitor builds a monitor and calibrates per-set activity thresholds:
+// the idle baseline (all hits) plus half a miss edge.
+func NewMonitor(spy *Spy, sets []EvictionSet) *Monitor {
+	m := &Monitor{spy: spy, sets: sets, thresholds: make([]uint64, len(sets))}
+	edge := (spy.MissLatency() - spy.HitLatency()) / 2
+	if edge == 0 {
+		edge = 1
+	}
+	for i := range sets {
+		m.thresholds[i] = m.calibrateSet(i) + edge
+	}
+	return m
+}
+
+// calibrateSet measures the all-hit baseline of a set: one priming pass,
+// then the minimum of several probe passes. Taking the minimum keeps a
+// packet that happens to land mid-calibration from inflating the baseline
+// (an inflated baseline would blind the monitor permanently).
+func (m *Monitor) calibrateSet(i int) uint64 {
+	m.probeSet(i)
+	idle := m.probeSet(i)
+	for pass := 0; pass < 2; pass++ {
+		if lat := m.probeSet(i); lat < idle {
+			idle = lat
+		}
+	}
+	return idle
+}
+
+// Sets returns the monitored eviction sets.
+func (m *Monitor) Sets() []EvictionSet { return m.sets }
+
+// ReplaceSet swaps monitored set i (the GET_CLEAN_SAMPLES fallback: an
+// always-active set is replaced by the same group's second-block set).
+func (m *Monitor) ReplaceSet(i int, e EvictionSet) {
+	m.sets[i] = e
+	edge := (m.spy.MissLatency() - m.spy.HitLatency()) / 2
+	if edge == 0 {
+		edge = 1
+	}
+	m.thresholds[i] = m.calibrateSet(i) + edge
+}
+
+func (m *Monitor) probeSet(i int) uint64 {
+	var lat uint64
+	for _, a := range m.sets[i].Lines {
+		lat += m.spy.Touch(a)
+	}
+	return lat
+}
+
+// ProbeOnce syncs the world and probes every monitored set once.
+func (m *Monitor) ProbeOnce() Sample {
+	tb := m.spy.Testbed()
+	s := Sample{
+		At:      tb.Clock().Now(),
+		Active:  make([]bool, len(m.sets)),
+		Latency: make([]uint64, len(m.sets)),
+	}
+	for i := range m.sets {
+		tb.Sync()
+		lat := m.probeSet(i)
+		s.Latency[i] = lat
+		s.Active[i] = lat > m.thresholds[i]
+	}
+	return s
+}
+
+// ProbeSingle probes only set i (used when chasing a known sequence, where
+// the whole point is to probe one expected buffer at a time).
+func (m *Monitor) ProbeSingle(i int) bool {
+	tb := m.spy.Testbed()
+	tb.Sync()
+	return m.probeSet(i) > m.thresholds[i]
+}
+
+// Collect takes n samples spaced interval cycles apart (the paper's
+// repeated_probe). The spacing is between sample starts; if a pass takes
+// longer than the interval the next one starts immediately.
+func (m *Monitor) Collect(n int, interval uint64) []Sample {
+	tb := m.spy.Testbed()
+	out := make([]Sample, 0, n)
+	next := tb.Clock().Now()
+	for len(out) < n {
+		tb.IdleTo(next)
+		out = append(out, m.ProbeOnce())
+		next += interval
+		if now := tb.Clock().Now(); next < now {
+			next = now
+		}
+	}
+	return out
+}
+
+// ActivityRate returns, per monitored set, the fraction of samples with
+// activity — the paper's activity() measure used to spot always-active
+// sets.
+func ActivityRate(samples []Sample) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	n := len(samples[0].Active)
+	out := make([]float64, n)
+	for _, s := range samples {
+		for i, a := range s.Active {
+			if a {
+				out[i]++
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(samples))
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback in the discrete-event queue. Events with
+// equal times fire in insertion order, which keeps the simulation
+// deterministic regardless of heap internals.
+type Event struct {
+	At   uint64 // cycle at which the event fires
+	Run  func()
+	seq  uint64
+	heap int
+}
+
+// Scheduler is a minimal deterministic discrete-event scheduler. The main
+// attack loop does not need it (the spy drives time directly), but the NIC
+// interrupt path and the performance-evaluation workloads do.
+type Scheduler struct {
+	clock *Clock
+	queue eventHeap
+	next  uint64
+}
+
+// NewScheduler returns a scheduler bound to the given clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past is a
+// bug; it panics.
+func (s *Scheduler) At(t uint64, fn func()) {
+	if t < s.clock.Now() {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &Event{At: t, Run: fn, seq: s.next}
+	s.next++
+	heap.Push(&s.queue, ev)
+}
+
+// After schedules fn to run d cycles from now.
+func (s *Scheduler) After(d uint64, fn func()) {
+	s.At(s.clock.Now()+d, fn)
+}
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Step runs the earliest event, advancing the clock to its time. It returns
+// false if the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*Event)
+	s.clock.AdvanceTo(ev.At)
+	ev.Run()
+	return true
+}
+
+// RunUntil executes events with At <= t, then advances the clock to t.
+func (s *Scheduler) RunUntil(t uint64) {
+	for len(s.queue) > 0 && s.queue[0].At <= t {
+		s.Step()
+	}
+	if t > s.clock.Now() {
+		s.clock.AdvanceTo(t)
+	}
+}
+
+// Drain runs events until the queue is empty or the step limit is reached;
+// it returns the number of events executed. The limit guards against
+// self-rescheduling loops in tests.
+func (s *Scheduler) Drain(limit int) int {
+	n := 0
+	for n < limit && s.Step() {
+		n++
+	}
+	return n
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.heap = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

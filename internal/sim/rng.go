@@ -1,0 +1,49 @@
+package sim
+
+import "math/rand"
+
+// RNG wraps math/rand with a convenience constructor so that every
+// experiment takes a single root seed and derives independent streams for
+// its components (page allocator, noise process, traffic jitter, ...).
+// Derived streams are decorrelated by splitmix-style seed scrambling.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a new independent RNG derived from this RNG's seed space
+// and the given stream label. Two streams with different labels are
+// decorrelated even though they share a root seed.
+func Derive(root int64, label string) *RNG {
+	h := uint64(root)
+	for _, c := range label {
+		h ^= uint64(c)
+		h *= 0x100000001b3 // FNV prime
+	}
+	// splitmix64 finalizer for avalanche.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return NewRNG(int64(h))
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Jitter returns v multiplied by a uniform factor in [1-frac, 1+frac].
+func (r *RNG) Jitter(v float64, frac float64) float64 {
+	return v * (1 + frac*(2*r.Float64()-1))
+}

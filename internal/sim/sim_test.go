@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("clock must start at 0")
+	}
+	c.Advance(100)
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Errorf("now=%d want 250", c.Now())
+	}
+}
+
+func TestClockRewindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvanceTo into the past must panic")
+		}
+	}()
+	c := NewClock()
+	c.Advance(10)
+	c.AdvanceTo(5)
+}
+
+func TestRateConversions(t *testing.T) {
+	// 0.2 Mpps at 3.3 GHz is 16,500 cycles per packet (paper Table I rate).
+	if got := CyclesPerSecond(200_000); got != 16_500 {
+		t.Errorf("0.2Mpps period = %d want 16500", got)
+	}
+	if got := CyclesPerSecond(8000); got != 412_500 {
+		t.Errorf("8k probes/s period = %d want 412500", got)
+	}
+	if CyclesPerSecond(0) != 0 {
+		t.Error("zero rate must give zero period")
+	}
+	if Seconds(Frequency) != 1.0 {
+		t.Error("Frequency cycles should be 1 second")
+	}
+	if Cycles(0.5) != Frequency/2 {
+		t.Error("0.5s should be half of Frequency")
+	}
+}
+
+func TestDeriveDecorrelates(t *testing.T) {
+	a := Derive(1, "alloc")
+	b := Derive(1, "noise")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("streams look correlated: %d/100 collisions", same)
+	}
+	// Same label, same seed must reproduce.
+	c := Derive(1, "alloc")
+	d := Derive(1, "alloc")
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("same (seed,label) must reproduce")
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(3)
+	if r.Bernoulli(0) {
+		t.Error("p=0 must be false")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("p=1 must be true")
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	clock := NewClock()
+	s := NewScheduler(clock)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	// Same-time events fire in insertion order.
+	s.At(20, func() { order = append(order, 4) })
+	s.Drain(100)
+	want := []int{1, 2, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v want %v", order, want)
+		}
+	}
+	if clock.Now() != 30 {
+		t.Errorf("clock=%d want 30", clock.Now())
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	clock := NewClock()
+	s := NewScheduler(clock)
+	ran := 0
+	s.At(5, func() { ran++ })
+	s.At(15, func() { ran++ })
+	s.RunUntil(10)
+	if ran != 1 {
+		t.Errorf("ran=%d want 1", ran)
+	}
+	if clock.Now() != 10 {
+		t.Errorf("clock=%d want 10", clock.Now())
+	}
+	s.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran=%d want 2", ran)
+	}
+}
+
+func TestSchedulerSelfRescheduleLimit(t *testing.T) {
+	clock := NewClock()
+	s := NewScheduler(clock)
+	var tick func()
+	tick = func() { s.After(10, tick) }
+	s.After(0, tick)
+	n := s.Drain(50)
+	if n != 50 {
+		t.Errorf("drain should stop at limit, ran %d", n)
+	}
+}
+
+func TestSchedulerHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		clock := NewClock()
+		s := NewScheduler(clock)
+		var fired []uint64
+		for _, tt := range times {
+			at := uint64(tt)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Drain(len(times) + 1)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

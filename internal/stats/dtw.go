@@ -1,0 +1,93 @@
+package stats
+
+import "math"
+
+// AlignDistance computes a banded global-alignment (Needleman-Wunsch style)
+// distance between two sequences of feature points: matching points costs
+// their weighted L1 difference, and skipping a point in either sequence
+// costs skipPenalty. The band limits alignment skew.
+//
+// This is the trace matcher behind the fingerprint classifier. Compared to
+// plain correlation it is robust to exactly the perturbations packet traces
+// suffer: inserted elements (retransmissions, stray control frames) are
+// skipped for a small constant cost instead of being force-matched, while
+// genuinely different structure still pays — the paper's suggestion of a
+// classifier "tolerant of noise as well as slight compression or
+// decompression of the vectors" (§V).
+//
+// Points shorter than the weight vector are treated as zero-padded. The
+// distance is normalized by the combined length.
+func AlignDistance(a, b [][]float64, weights []float64, skipPenalty float64, band int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return 0
+	}
+	if n == 0 || m == 0 {
+		return skipPenalty * float64(n+m) / float64(n+m+1)
+	}
+	if band < 1 {
+		band = 1
+	}
+	if d := n - m; d > band || -d > band {
+		if d < 0 {
+			d = -d
+		}
+		band = d + 1
+	}
+	const inf = math.MaxFloat64 / 4
+	prev := make([]float64, m+1)
+	curr := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		if j <= band {
+			prev[j] = skipPenalty * float64(j)
+		} else {
+			prev[j] = inf
+		}
+	}
+	at := func(p []float64, k int) float64 {
+		if k < len(p) {
+			return p[k]
+		}
+		return 0
+	}
+	cost := func(i, j int) float64 {
+		var c float64
+		for k, w := range weights {
+			c += w * math.Abs(at(a[i], k)-at(b[j], k))
+		}
+		return c
+	}
+	for i := 1; i <= n; i++ {
+		lo := i - band
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + band
+		if hi > m {
+			hi = m
+		}
+		for j := range curr {
+			curr[j] = inf
+		}
+		if lo == 0 {
+			curr[0] = skipPenalty * float64(i)
+			lo = 1
+		}
+		for j := lo; j <= hi; j++ {
+			best := prev[j-1] + cost(i-1, j-1) // match
+			if v := prev[j] + skipPenalty; v < best {
+				best = v // skip a[i-1]
+			}
+			if v := curr[j-1] + skipPenalty; v < best {
+				best = v // skip b[j-1]
+			}
+			curr[j] = best
+		}
+		prev, curr = curr, prev
+	}
+	d := prev[m]
+	if d >= inf {
+		return math.Inf(1)
+	}
+	return d / float64(n+m)
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pts(vals ...float64) [][]float64 {
+	out := make([][]float64, len(vals))
+	for i, v := range vals {
+		out[i] = []float64{v}
+	}
+	return out
+}
+
+var w1 = []float64{1}
+
+func TestAlignDistanceIdentity(t *testing.T) {
+	a := pts(1, 2, 3, 4, 5)
+	if d := AlignDistance(a, a, w1, 1, 4); d != 0 {
+		t.Errorf("self distance %v want 0", d)
+	}
+}
+
+func TestAlignDistanceEmpty(t *testing.T) {
+	if d := AlignDistance(nil, nil, w1, 1, 4); d != 0 {
+		t.Errorf("both empty: %v", d)
+	}
+	if d := AlignDistance(pts(1, 2), nil, w1, 1, 4); d <= 0 || math.IsInf(d, 1) {
+		t.Errorf("one empty must cost skips: %v", d)
+	}
+}
+
+func TestAlignDistanceInsertionCheaperThanMismatch(t *testing.T) {
+	// An inserted outlier point should cost ~one skip penalty, not the
+	// full mismatch cost — the property the fingerprint classifier needs
+	// for retransmitted/control frames.
+	base := pts(4, 4, 4, 4, 4, 4)
+	inserted := pts(4, 4, 4, 99, 4, 4, 4) // one extra wild point
+	d := AlignDistance(inserted, base, w1, 1.0, 4)
+	maxExpected := 1.0 / float64(len(base)+len(inserted)) * 1.5
+	if d > maxExpected {
+		t.Errorf("insertion cost %v should be about one skip (%v)", d, maxExpected)
+	}
+}
+
+func TestAlignDistanceStructuralDifferenceCosts(t *testing.T) {
+	a := pts(4, 4, 4, 1, 4, 4)
+	b := pts(4, 4, 4, 4, 4, 4)
+	same := AlignDistance(b, b, w1, 1, 4)
+	diff := AlignDistance(a, b, w1, 1, 4)
+	if diff <= same {
+		t.Errorf("structural difference must cost: %v <= %v", diff, same)
+	}
+}
+
+func TestAlignDistanceSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(20), 1+rng.Intn(20)
+		a := make([][]float64, n)
+		b := make([][]float64, m)
+		for i := range a {
+			a[i] = []float64{float64(rng.Intn(5))}
+		}
+		for i := range b {
+			b[i] = []float64{float64(rng.Intn(5))}
+		}
+		d1 := AlignDistance(a, b, w1, 1, 6)
+		d2 := AlignDistance(b, a, w1, 1, 6)
+		return math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignDistanceNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([][]float64, 1+rng.Intn(15))
+		b := make([][]float64, 1+rng.Intn(15))
+		for i := range a {
+			a[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		for i := range b {
+			b[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		d := AlignDistance(a, b, []float64{1, 0.5}, 2, 5)
+		return d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignDistanceBandWidensForLengthGap(t *testing.T) {
+	// Sequences whose length difference exceeds the band must still align
+	// (the band auto-widens) rather than return infinity.
+	a := pts(1, 1, 1, 1, 1, 1, 1, 1, 1, 1)
+	b := pts(1, 1)
+	if d := AlignDistance(a, b, w1, 1, 1); math.IsInf(d, 1) {
+		t.Error("length gap beyond band must not be infinite")
+	}
+}
+
+func TestAlignDistanceShortWeightVector(t *testing.T) {
+	// Points shorter than the weight vector are zero-padded: matching
+	// {1} against {1,5} costs |1-1|+|0-5| = 5, so the aligner prefers two
+	// skips (2x2=4) and the normalized distance is 4/(n+m) = 2.
+	a := [][]float64{{1}}
+	b := [][]float64{{1, 5}}
+	d := AlignDistance(a, b, []float64{1, 1}, 2, 2)
+	if math.Abs(d-2.0) > 1e-9 {
+		t.Errorf("want min(match=5, skips=4)/2 = 2, got %v", d)
+	}
+	// With a cheap second component the match wins: cost 0.5 < skips 4.
+	d2 := AlignDistance(a, b, []float64{1, 0.1}, 2, 2)
+	if math.Abs(d2-0.25) > 1e-9 {
+		t.Errorf("want match cost 0.5/2 = 0.25, got %v", d2)
+	}
+}

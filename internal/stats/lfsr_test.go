@@ -1,0 +1,78 @@
+package stats
+
+import "testing"
+
+func TestLFSR15Period(t *testing.T) {
+	l := NewLFSR15(1)
+	seen := make(map[uint16]bool)
+	start := l.state
+	count := 0
+	for {
+		l.NextBit()
+		count++
+		if l.state == start {
+			break
+		}
+		if seen[l.state] {
+			t.Fatalf("state repeated before returning to start after %d steps", count)
+		}
+		seen[l.state] = true
+		if count > 1<<16 {
+			t.Fatal("no cycle found")
+		}
+	}
+	if count != (1<<15)-1 {
+		t.Errorf("period %d want %d (maximal length)", count, (1<<15)-1)
+	}
+}
+
+func TestLFSR15NeverZero(t *testing.T) {
+	l := NewLFSR15(12345)
+	for i := 0; i < 40000; i++ {
+		l.NextBit()
+		if l.state == 0 {
+			t.Fatal("LFSR reached all-zero state")
+		}
+	}
+}
+
+func TestLFSR15ZeroSeed(t *testing.T) {
+	l := NewLFSR15(0)
+	if l.state == 0 {
+		t.Fatal("zero seed must be replaced")
+	}
+}
+
+func TestLFSR15Balance(t *testing.T) {
+	// A maximal-length sequence has 2^14 ones and 2^14-1 zeros per period.
+	l := NewLFSR15(99)
+	ones := 0
+	n := (1 << 15) - 1
+	for i := 0; i < n; i++ {
+		ones += l.NextBit()
+	}
+	if ones != 1<<14 {
+		t.Errorf("ones per period = %d want %d", ones, 1<<14)
+	}
+}
+
+func TestLFSRSymbolsRange(t *testing.T) {
+	l := NewLFSR15(5)
+	for _, base := range []int{2, 3, 4} {
+		for _, s := range l.Symbols(1000, base) {
+			if s < 0 || s >= base {
+				t.Fatalf("symbol %d out of range for base %d", s, base)
+			}
+		}
+	}
+}
+
+func TestLFSRDeterminism(t *testing.T) {
+	a := NewLFSR15(42).Bits(100)
+	b := NewLFSR15(42).Bits(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import "math"
+
+// CrossCorrelation returns the raw sliding cross-correlation of x and y at
+// every lag in [-(len(y)-1), len(x)-1]. Index i of the result corresponds to
+// lag i-(len(y)-1).
+//
+// The fingerprint classifier (Section V) correlates a captured packet-size
+// vector against the representative vector of each candidate website and
+// picks the site with the highest peak correlation.
+func CrossCorrelation(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x)+len(y)-1)
+	for lag := -(len(y) - 1); lag < len(x); lag++ {
+		var s float64
+		for j := 0; j < len(y); j++ {
+			i := lag + j
+			if i < 0 || i >= len(x) {
+				continue
+			}
+			s += x[i] * y[j]
+		}
+		out[lag+len(y)-1] = s
+	}
+	return out
+}
+
+// MaxNormalizedCorrelation returns the maximum of the normalized (zero-mean,
+// unit-energy) cross-correlation over all lags, a value in [-1, 1]. It is
+// robust to amplitude scaling and small shifts, which is what the paper's
+// classifier needs: recovered size traces are slightly shifted and
+// compressed versions of the true traces.
+func MaxNormalizedCorrelation(x, y []float64) float64 {
+	xs := zeroMean(x)
+	ys := zeroMean(y)
+	ex := energy(xs)
+	ey := energy(ys)
+	if ex == 0 || ey == 0 {
+		return 0
+	}
+	cc := CrossCorrelation(xs, ys)
+	best := math.Inf(-1)
+	for _, v := range cc {
+		if v > best {
+			best = v
+		}
+	}
+	return best / math.Sqrt(ex*ey)
+}
+
+// BoundedLagCorrelation returns the maximum normalized correlation over
+// lags in [-maxLag, maxLag]. At each lag the overlapping windows are
+// zero-meaned and scaled independently (a windowed Pearson coefficient).
+// Use this when the two signals share a known origin and only small
+// misalignments (insertions, drift) are expected: an unbounded lag search
+// happily aligns any spike with any spike, destroying selectivity.
+func BoundedLagCorrelation(x, y []float64, maxLag int) float64 {
+	best := math.Inf(-1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		// Overlap of x[i] with y[i-lag].
+		xs, ys := x, y
+		if lag > 0 {
+			if lag >= len(xs) {
+				continue
+			}
+			xs = xs[lag:]
+		} else if lag < 0 {
+			if -lag >= len(ys) {
+				continue
+			}
+			ys = ys[-lag:]
+		}
+		if v := PearsonCorrelation(xs, ys); v > best {
+			best = v
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// PearsonCorrelation returns the zero-lag Pearson correlation coefficient of
+// two equal-length vectors. Shorter vectors are compared up to the common
+// length.
+func PearsonCorrelation(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n == 0 {
+		return 0
+	}
+	xs := zeroMean(x[:n])
+	ys := zeroMean(y[:n])
+	var num float64
+	for i := 0; i < n; i++ {
+		num += xs[i] * ys[i]
+	}
+	den := math.Sqrt(energy(xs) * energy(ys))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func zeroMean(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	var m float64
+	for _, v := range x {
+		m += v
+	}
+	m /= float64(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - m
+	}
+	return out
+}
+
+func energy(x []float64) float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return e
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossCorrelationImpulse(t *testing.T) {
+	x := []float64{0, 0, 1, 0, 0}
+	y := []float64{1}
+	cc := CrossCorrelation(x, y)
+	if len(cc) != 5 {
+		t.Fatalf("length %d want 5", len(cc))
+	}
+	for i, v := range cc {
+		want := 0.0
+		if i == 2 {
+			want = 1
+		}
+		if v != want {
+			t.Errorf("cc[%d]=%v want %v", i, v, want)
+		}
+	}
+}
+
+func TestMaxNormalizedCorrelationSelf(t *testing.T) {
+	x := []float64{1, 4, 2, 8, 5, 7, 1, 0, 3}
+	if got := MaxNormalizedCorrelation(x, x); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self-correlation %v want 1", got)
+	}
+}
+
+func TestMaxNormalizedCorrelationShiftInvariance(t *testing.T) {
+	x := []float64{0, 0, 1, 3, 1, 0, 2, 5, 2, 0, 0, 0}
+	shifted := append([]float64{0, 0, 0}, x...)
+	got := MaxNormalizedCorrelation(shifted, x)
+	// Padding changes the mean and energy slightly, so the peak is close
+	// to but below 1.
+	if got < 0.9 {
+		t.Errorf("shifted copy should correlate near 1, got %v", got)
+	}
+}
+
+func TestMaxNormalizedCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		m := 5 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		v := MaxNormalizedCorrelation(x, y)
+		return v <= 1.0000001 && v >= -1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := PearsonCorrelation(x, y); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect linear: got %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := PearsonCorrelation(x, neg); math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect negative: got %v", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := PearsonCorrelation(x, flat); got != 0 {
+		t.Errorf("flat vector: got %v want 0", got)
+	}
+}
+
+func TestCrossCorrelationEmpty(t *testing.T) {
+	if cc := CrossCorrelation(nil, []float64{1}); cc != nil {
+		t.Errorf("empty x: got %v", cc)
+	}
+	if cc := CrossCorrelation([]float64{1}, nil); cc != nil {
+		t.Errorf("empty y: got %v", cc)
+	}
+}

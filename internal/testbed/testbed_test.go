@@ -1,0 +1,114 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/netmodel"
+)
+
+func small(t *testing.T, seed int64) *Testbed {
+	t.Helper()
+	opts := DefaultOptions(seed)
+	opts.Cache = cache.ScaledConfig(2, 128, 4)
+	opts.MemBytes = 1 << 26
+	tb, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestSyncDeliversDueFrames(t *testing.T) {
+	tb := small(t, 1)
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	tb.SetTraffic(netmodel.NewConstantSource(wire, 64, 100_000, 0, 3))
+	tb.IdleTo(100_000_000)
+	if got := tb.NIC().Stats().Received; got != 3 {
+		t.Errorf("received %d frames want 3", got)
+	}
+}
+
+func TestSyncDoesNotDeliverFutureFrames(t *testing.T) {
+	tb := small(t, 2)
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	tb.SetTraffic(netmodel.NewConstantSource(wire, 64, 100, tb.Clock().Now()+1_000_000, 5))
+	tb.Sync()
+	if got := tb.NIC().Stats().Received; got != 0 {
+		t.Errorf("future frames delivered early: %d", got)
+	}
+}
+
+func TestDrainTraffic(t *testing.T) {
+	tb := small(t, 3)
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	tb.SetTraffic(netmodel.NewConstantSource(wire, 128, 50_000, tb.Clock().Now(), 10))
+	if n := tb.DrainTraffic(); n != 10 {
+		t.Errorf("drained %d frames want 10", n)
+	}
+	if tb.NIC().PendingDriverWork() != 0 {
+		t.Error("driver work must be flushed after drain")
+	}
+}
+
+func TestNoiseProcessTouchesCache(t *testing.T) {
+	opts := DefaultOptions(4)
+	opts.Cache = cache.ScaledConfig(2, 128, 4)
+	opts.NoiseRate = 1_000_000
+	opts.MemBytes = 1 << 26
+	tb, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tb.Cache().Stats().CPUAccesses
+	tb.Idle(10_000_000)
+	if tb.Cache().Stats().CPUAccesses == before {
+		t.Error("noise process produced no cache accesses")
+	}
+}
+
+func TestTimerReadOneSided(t *testing.T) {
+	opts := DefaultOptions(5)
+	opts.Cache = cache.ScaledConfig(2, 128, 4)
+	opts.TimerNoise = 8
+	opts.MemBytes = 1 << 26
+	tb, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if got := tb.TimerRead(100); got < 100 || got > 100+16 {
+			t.Fatalf("timer read %d outside [100,116]", got)
+		}
+	}
+	opts.TimerNoise = 0
+	tb2, _ := New(opts)
+	if tb2.TimerRead(100) != 100 {
+		t.Error("zero noise must be exact")
+	}
+}
+
+func TestReplacingTrafficDropsPending(t *testing.T) {
+	tb := small(t, 6)
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	tb.SetTraffic(netmodel.NewConstantSource(wire, 64, 1, tb.Clock().Now()+1<<40, 5))
+	tb.Sync() // peeks and holds the far-future frame
+	tb.SetTraffic(netmodel.NewConstantSource(wire, 64, 100_000, tb.Clock().Now(), 2))
+	tb.DrainTraffic()
+	if got := tb.NIC().Stats().Received; got != 2 {
+		t.Errorf("received %d want 2 (old pending frame must be dropped)", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		tb := small(t, 7)
+		wire := netmodel.NewWire(netmodel.GigabitRate)
+		tb.SetTraffic(netmodel.NewConstantSource(wire, 200, 150_000, tb.Clock().Now(), 50))
+		tb.DrainTraffic()
+		return tb.Cache().Stats().CPUAccesses + tb.Cache().Stats().IOWrites + tb.Clock().Now()
+	}
+	if run() != run() {
+		t.Error("same seed must reproduce the same world exactly")
+	}
+}

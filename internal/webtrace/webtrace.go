@@ -1,0 +1,189 @@
+// Package webtrace provides the victim-side web traffic corpus for the §V
+// fingerprinting attack. The paper captures Firefox page loads of five
+// sites with tcpdump plus hotcrp login sessions; neither browser nor
+// network is reachable from this reproduction, so the corpus is synthetic:
+// each page is a sequence of HTTP response objects whose sizes and
+// pacing produce the paper's characteristic on-the-wire shape — runs of
+// MTU-sized frames ended by a variable-size tail frame, interleaved with
+// small control packets ("the packets are usually congested on the two
+// sides of the spectrum", §V).
+//
+// Per-trial randomness (size jitter, packet loss with retransmission,
+// control-packet insertion) makes the classifier's job non-trivial, which
+// is what the paper's 89.7%-not-100% accuracy reflects.
+package webtrace
+
+import (
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// Object is one HTTP response object within a page load.
+type Object struct {
+	// Bytes is the payload size of the object.
+	Bytes int
+	// GapCycles is the think/RTT gap before the object's first frame.
+	GapCycles uint64
+}
+
+// Site is a fingerprinting target.
+type Site struct {
+	Name    string
+	Objects []Object
+}
+
+// Noise parameterizes per-trial trace perturbation.
+type Noise struct {
+	// TailJitterFrac jitters each object's size by up to this fraction
+	// (dynamic HTML, cookies, timestamps).
+	TailJitterFrac float64
+	// LossProb duplicates a frame (TCP retransmission) with this
+	// probability.
+	LossProb float64
+	// ControlProb inserts an extra 64-byte control frame after any frame
+	// with this probability (ACKs riding the reverse path, pushes).
+	ControlProb float64
+}
+
+// DefaultNoise returns perturbation levels that leave site identity
+// recoverable but not trivially so.
+func DefaultNoise() Noise {
+	return Noise{TailJitterFrac: 0.08, LossProb: 0.02, ControlProb: 0.10}
+}
+
+// Trace is a concrete on-the-wire page load.
+type Trace struct {
+	// Sizes are per-frame sizes in bytes.
+	Sizes []int
+	// Gaps are cycles inserted before each frame.
+	Gaps []uint64
+}
+
+// Generate renders the site into frames with per-trial noise.
+func (s Site) Generate(rng *sim.RNG, n Noise) Trace {
+	var tr Trace
+	push := func(size int, gap uint64) {
+		if size < netmodel.MinFrameSize {
+			size = netmodel.MinFrameSize
+		}
+		if size > netmodel.MaxFrameSize {
+			size = netmodel.MaxFrameSize
+		}
+		tr.Sizes = append(tr.Sizes, size)
+		tr.Gaps = append(tr.Gaps, gap)
+		if rng.Bernoulli(n.LossProb) { // retransmission duplicate
+			tr.Sizes = append(tr.Sizes, size)
+			tr.Gaps = append(tr.Gaps, 40_000)
+		}
+		if rng.Bernoulli(n.ControlProb) {
+			tr.Sizes = append(tr.Sizes, netmodel.MinFrameSize)
+			tr.Gaps = append(tr.Gaps, 5_000)
+		}
+	}
+	const frameHdr = 54 // Ethernet(14)+IP(20)+TCP(20) headers per frame
+	for _, obj := range s.Objects {
+		bytes := int(rng.Jitter(float64(obj.Bytes), n.TailJitterFrac))
+		gap := obj.GapCycles
+		for bytes > 0 {
+			chunk := netmodel.MTU - 40 // TCP MSS
+			if bytes < chunk {
+				chunk = bytes
+			}
+			push(chunk+frameHdr, gap) // full MSS frames are 1514 B on the wire
+			gap = 2_000               // in-burst spacing
+			bytes -= chunk
+		}
+	}
+	return tr
+}
+
+// SizeClasses converts a trace to the attacker-visible feature: per frame,
+// the cache-block size class 1..maxClass (maxClass means ">= maxClass
+// blocks", the paper's "4+"). Buffers cap at 2 KB, so jumbo frames clamp.
+func (t Trace) SizeClasses(maxClass int) []int {
+	out := make([]int, len(t.Sizes))
+	for i, s := range t.Sizes {
+		blocks := (s + 63) / 64
+		if blocks > maxClass {
+			blocks = maxClass
+		}
+		out[i] = blocks
+	}
+	return out
+}
+
+// Source returns a netmodel source replaying the trace.
+func (t Trace) Source(wire *netmodel.Wire, start uint64) netmodel.Source {
+	return netmodel.NewTraceSource(wire, t.Sizes, t.Gaps, start)
+}
+
+// ClosedWorld returns the paper's five-site closed-world corpus. Object
+// structures are invented but mutually distinctive in the ways real sites
+// are: total bytes, object count, and the sizes of the tail frames.
+func ClosedWorld() []Site {
+	return []Site{
+		{Name: "facebook.com", Objects: []Object{
+			{Bytes: 900, GapCycles: 400_000},
+			{Bytes: 52_000, GapCycles: 900_000},
+			{Bytes: 130, GapCycles: 120_000},
+			{Bytes: 18_500, GapCycles: 300_000},
+			{Bytes: 4_200, GapCycles: 150_000},
+			{Bytes: 74_000, GapCycles: 500_000},
+			{Bytes: 260, GapCycles: 100_000},
+		}},
+		{Name: "twitter.com", Objects: []Object{
+			{Bytes: 600, GapCycles: 400_000},
+			{Bytes: 8_300, GapCycles: 700_000},
+			{Bytes: 210, GapCycles: 90_000},
+			{Bytes: 3_100, GapCycles: 200_000},
+			{Bytes: 150, GapCycles: 80_000},
+			{Bytes: 29_000, GapCycles: 600_000},
+			{Bytes: 1_900, GapCycles: 150_000},
+			{Bytes: 430, GapCycles: 100_000},
+		}},
+		{Name: "google.com", Objects: []Object{
+			{Bytes: 250, GapCycles: 300_000},
+			{Bytes: 13_000, GapCycles: 500_000},
+			{Bytes: 1_100, GapCycles: 120_000},
+			{Bytes: 700, GapCycles: 100_000},
+		}},
+		{Name: "amazon.com", Objects: []Object{
+			{Bytes: 1_400, GapCycles: 400_000},
+			{Bytes: 96_000, GapCycles: 800_000},
+			{Bytes: 340, GapCycles: 90_000},
+			{Bytes: 22_000, GapCycles: 350_000},
+			{Bytes: 7_800, GapCycles: 200_000},
+			{Bytes: 41_000, GapCycles: 450_000},
+			{Bytes: 560, GapCycles: 110_000},
+			{Bytes: 12_500, GapCycles: 280_000},
+		}},
+		{Name: "apple.com", Objects: []Object{
+			{Bytes: 800, GapCycles: 350_000},
+			{Bytes: 36_000, GapCycles: 650_000},
+			{Bytes: 64_000, GapCycles: 550_000},
+			{Bytes: 190, GapCycles: 90_000},
+			{Bytes: 2_700, GapCycles: 160_000},
+		}},
+	}
+}
+
+// HotCRPLoginSuccess models the hotcrp.com response to a successful login
+// (Fig 13a): a small redirect followed by the large dashboard page.
+func HotCRPLoginSuccess() Site {
+	return Site{Name: "hotcrp-login-success", Objects: []Object{
+		{Bytes: 480, GapCycles: 400_000},    // 302 redirect
+		{Bytes: 58_000, GapCycles: 700_000}, // dashboard HTML
+		{Bytes: 9_400, GapCycles: 250_000},  // assets
+		{Bytes: 350, GapCycles: 120_000},
+	}}
+}
+
+// HotCRPLoginFailure models a failed login (Fig 13b): the login page
+// re-rendered with an error banner — one medium object, no dashboard.
+func HotCRPLoginFailure() Site {
+	return Site{Name: "hotcrp-login-failure", Objects: []Object{
+		{Bytes: 7_200, GapCycles: 400_000}, // login page + error
+		{Bytes: 900, GapCycles: 200_000},   // css revalidation
+		{Bytes: 120, GapCycles: 100_000},
+	}}
+}

@@ -1,0 +1,112 @@
+package webtrace
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func TestGenerateLegalFrames(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, site := range ClosedWorld() {
+		tr := site.Generate(rng, DefaultNoise())
+		if len(tr.Sizes) == 0 {
+			t.Fatalf("%s: empty trace", site.Name)
+		}
+		if len(tr.Sizes) != len(tr.Gaps) {
+			t.Fatalf("%s: sizes/gaps mismatch", site.Name)
+		}
+		for _, s := range tr.Sizes {
+			if s < netmodel.MinFrameSize || s > netmodel.MaxFrameSize {
+				t.Fatalf("%s: illegal frame size %d", site.Name, s)
+			}
+		}
+	}
+}
+
+func TestTraceShapeMTURuns(t *testing.T) {
+	// Large objects must appear as runs of MTU-sized frames with a
+	// variable tail — the §V signal.
+	rng := sim.NewRNG(2)
+	site := Site{Name: "big", Objects: []Object{{Bytes: 30_000, GapCycles: 0}}}
+	tr := site.Generate(rng, Noise{})
+	full := 0
+	for _, s := range tr.Sizes {
+		if s == 1514 {
+			full++
+		}
+	}
+	if full < 15 {
+		t.Errorf("30kB object should produce ~20 MSS frames, got %d", full)
+	}
+	last := tr.Sizes[len(tr.Sizes)-1]
+	if last >= netmodel.MTU {
+		t.Errorf("tail frame should be partial, got %d", last)
+	}
+}
+
+func TestSizeClasses(t *testing.T) {
+	tr := Trace{Sizes: []int{64, 128, 200, 1500}}
+	classes := tr.SizeClasses(4)
+	want := []int{1, 2, 4, 4}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("classes %v want %v", classes, want)
+		}
+	}
+}
+
+func TestNoiseChangesTraces(t *testing.T) {
+	site := ClosedWorld()[0]
+	a := site.Generate(sim.NewRNG(3), DefaultNoise())
+	b := site.Generate(sim.NewRNG(4), DefaultNoise())
+	if len(a.Sizes) == len(b.Sizes) {
+		same := true
+		for i := range a.Sizes {
+			if a.Sizes[i] != b.Sizes[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different trial seeds must perturb the trace")
+		}
+	}
+}
+
+func TestZeroNoiseIsDeterministic(t *testing.T) {
+	site := ClosedWorld()[1]
+	a := site.Generate(sim.NewRNG(5), Noise{})
+	b := site.Generate(sim.NewRNG(6), Noise{})
+	if len(a.Sizes) != len(b.Sizes) {
+		t.Fatal("noise-free traces must be identical")
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatal("noise-free traces must be identical")
+		}
+	}
+}
+
+func TestSitesAreDistinctive(t *testing.T) {
+	sites := ClosedWorld()
+	lengths := map[int]string{}
+	for _, s := range sites {
+		tr := s.Generate(sim.NewRNG(7), Noise{})
+		if prev, dup := lengths[len(tr.Sizes)]; dup {
+			t.Errorf("%s and %s have identical noise-free lengths (%d); weak corpus",
+				s.Name, prev, len(tr.Sizes))
+		}
+		lengths[len(tr.Sizes)] = s.Name
+	}
+}
+
+func TestHotCRPTracesDiffer(t *testing.T) {
+	ok := HotCRPLoginSuccess().Generate(sim.NewRNG(8), Noise{})
+	fail := HotCRPLoginFailure().Generate(sim.NewRNG(9), Noise{})
+	if len(ok.Sizes) <= 2*len(fail.Sizes) {
+		t.Errorf("successful login (%d frames) should dwarf failure (%d frames)",
+			len(ok.Sizes), len(fail.Sizes))
+	}
+}
