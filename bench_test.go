@@ -18,6 +18,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/perfsim"
 	"repro/internal/probe"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -342,6 +343,37 @@ func BenchmarkFig16TailLatency(b *testing.B) {
 		b.ReportMetric(100*(adaptive-base)/base, "adaptive-p99-+%")
 	}
 }
+
+// --- experiment runner ---
+
+// benchRunnerSweep runs a cheap three-experiment, four-trial sweep at
+// the given pool width; compare Serial vs Parallel with benchstat to see
+// the fan-out win.
+func benchRunnerSweep(b *testing.B, parallel int) {
+	var sel []experiments.Experiment
+	for _, id := range []string{"fig5", "fig7", "table2"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		sel = append(sel, e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.Run(sel, runner.Options{
+			Scale: experiments.Demo, Seed: int64(i) + 1, Trials: 4, Parallel: parallel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed() > 0 {
+			b.Fatalf("%d experiments failed", rep.Failed())
+		}
+	}
+}
+
+func BenchmarkRunnerSweepSerial(b *testing.B)   { benchRunnerSweep(b, 1) }
+func BenchmarkRunnerSweepParallel(b *testing.B) { benchRunnerSweep(b, 0) }
 
 // --- ablations (DESIGN.md section 5) ---
 

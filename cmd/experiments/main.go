@@ -1,29 +1,52 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures through
+// the concurrent multi-trial runner.
 //
 // Usage:
 //
 //	experiments [-exp id,id,...|all] [-scale demo|paper] [-seed N]
+//	            [-trials T] [-parallel N] [-format text|json] [-o file]
 //
 // Experiment ids follow the paper: fig5..fig16, table1, table2,
-// fingerprint. Demo scale (default) runs a structurally faithful scaled
-// machine in seconds; paper scale runs the full 20 MB machine and can take
-// minutes per offline-phase experiment.
+// fingerprint (use -list for the full set). Demo scale (default) runs a
+// structurally faithful scaled machine in seconds; paper scale runs the
+// full 20 MB machine and can take minutes per offline-phase experiment.
+//
+// Each experiment runs as T independent trials with decorrelated seeds
+// derived from the root seed, fanned out over a worker pool. Metrics are
+// aggregated into mean / stddev / min-max; -format json emits a stable
+// machine-readable document whose bytes depend only on (selection,
+// scale, seed, trials) — never on -parallel — so CI can diff it.
+//
+// Exit status: 0 when every selected experiment succeeded, 1 when any
+// experiment failed, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	scaleFlag := flag.String("scale", "demo", "demo or paper")
 	seed := flag.Int64("seed", 1, "root random seed")
+	trials := flag.Int("trials", 1, "independent trials per experiment")
+	parallel := flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text or json")
+	out := flag.String("o", "", "write results to file instead of stdout")
+	quiet := flag.Bool("q", false, "suppress per-trial progress on stderr")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -31,7 +54,7 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Short)
 		}
-		return
+		return 0
 	}
 	scale := experiments.Demo
 	switch *scaleFlag {
@@ -40,7 +63,15 @@ func main() {
 		scale = experiments.Paper
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want demo or paper)\n", *scaleFlag)
-		os.Exit(2)
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text or json)\n", *format)
+		return 2
+	}
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "-trials must be >= 1\n")
+		return 2
 	}
 
 	var selected []experiments.Experiment
@@ -51,25 +82,81 @@ func main() {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	failed := 0
-	for _, e := range selected {
-		start := time.Now()
-		res, err := e.Run(scale, *seed)
+	// Open the output file before the sweep so a bad path fails fast
+	// instead of discarding a potentially hours-long run.
+	dst := io.Writer(os.Stdout)
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			failed++
-			continue
+			fmt.Fprintf(os.Stderr, "open output: %v\n", err)
+			return 2
 		}
-		fmt.Print(res.Format())
-		fmt.Printf("(%s, %s scale, %.1fs wall)\n\n", e.ID, scale, time.Since(start).Seconds())
+		outFile = f
+		dst = f
 	}
-	if failed > 0 {
-		os.Exit(1)
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
 	}
+	width := *parallel
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "running %d experiment(s) x %d trial(s) on %d worker(s), %s scale, seed %d\n",
+			len(selected), *trials, width, scale, *seed)
+	}
+	start := time.Now()
+	rep, err := runner.Run(selected, runner.Options{
+		Scale:    scale,
+		Seed:     *seed,
+		Trials:   *trials,
+		Parallel: width,
+		Progress: progress,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runner: %v\n", err)
+		return 2
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "sweep finished in %.1fs wall\n", time.Since(start).Seconds())
+	}
+
+	var werr error
+	if *format == "json" {
+		werr = rep.WriteJSON(dst)
+	} else {
+		werr = rep.WriteText(dst)
+	}
+	if werr == nil && outFile != nil {
+		// Close errors matter: a failed write-back flush would leave a
+		// truncated results file behind a zero exit status.
+		werr = outFile.Close()
+	}
+	if werr != nil {
+		if outFile != nil {
+			// Don't leave a truncated document for a later consumer.
+			// Only regular files: -o may point at a device or pipe.
+			outFile.Close()
+			if fi, serr := os.Stat(outFile.Name()); serr == nil && fi.Mode().IsRegular() {
+				os.Remove(outFile.Name())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "write results: %v\n", werr)
+		return 2
+	}
+
+	if failed := rep.Failed(); failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d experiment(s) failed\n", failed, len(rep.Experiments))
+		return 1
+	}
+	return 0
 }

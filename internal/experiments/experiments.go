@@ -1,7 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation. Each experiment is a named function that runs the relevant
-// attack or defense pipeline and returns formatted rows; cmd/experiments
-// prints them and the root benchmark suite re-runs scaled versions.
+// attack or defense pipeline and returns formatted rows plus structured
+// metric values; internal/runner fans the registry out over a worker
+// pool and aggregates metrics across trials, cmd/experiments prints the
+// results, and the root benchmark suite re-runs scaled versions.
 //
 // Two scales are supported. Demo scale (the default) shrinks the machine
 // so each experiment finishes in seconds on one core while keeping every
@@ -41,14 +43,33 @@ func (s Scale) String() string {
 	return "demo"
 }
 
-// Result is one experiment's output: a title, headed rows, and free-form
-// notes comparing against the paper's reported numbers.
+// Metric is one named numeric outcome of an experiment — the machine-
+// readable counterpart of a table cell. Names are stable snake_case
+// identifiers so downstream tooling (the runner's JSON document, CI
+// regression checks) can key on them across runs.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// Result is one experiment's output: a title, headed rows, free-form
+// notes comparing against the paper's reported numbers, and the named
+// metric values behind the table for machine-readable aggregation.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID      string
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Metrics []Metric
+}
+
+// AddMetric appends a named metric value to the result. Every experiment
+// must report at least one metric; trial aggregation and the CI smoke
+// check both key on them.
+func (r *Result) AddMetric(name, unit string, v float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Unit: unit, Value: v})
 }
 
 // Format renders the result as an aligned text table.
@@ -200,6 +221,26 @@ func (r *attackRig) groundTruthRing() []int {
 // recovered alphabet for Table 1 evaluation.
 func restrictTruth(truth []int, keep map[int]bool) []int {
 	return chase.CollapseRuns(chase.FilterTruth(truth, keep))
+}
+
+// slug converts a display name ("Adaptive Partitioning", "hotcrp-login-
+// success") into a stable snake_case metric-name segment.
+func slug(s string) string {
+	var b strings.Builder
+	pending := false
+	for _, c := range strings.ToLower(s) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			if pending && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pending = false
+			b.WriteRune(c)
+		default:
+			pending = true
+		}
+	}
+	return b.String()
 }
 
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }

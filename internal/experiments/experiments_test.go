@@ -57,6 +57,19 @@ func TestQuickExperimentsRun(t *testing.T) {
 		if len(res.Rows) == 0 {
 			t.Errorf("%s: no rows", id)
 		}
+		if len(res.Metrics) == 0 {
+			t.Errorf("%s: no metrics (the runner's aggregation and the CI smoke check key on them)", id)
+		}
+		names := map[string]bool{}
+		for _, m := range res.Metrics {
+			if m.Name != slug(m.Name) {
+				t.Errorf("%s: metric name %q is not a stable snake_case identifier", id, m.Name)
+			}
+			if names[m.Name] {
+				t.Errorf("%s: duplicate metric name %q", id, m.Name)
+			}
+			names[m.Name] = true
+		}
 	}
 }
 

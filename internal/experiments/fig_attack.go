@@ -37,9 +37,17 @@ func Fig5(scale Scale, seed int64) (Result, error) {
 		Title:  "ring buffers mapped per page-aligned cache set (one instance)",
 		Header: []string{"buffers-in-set", "number-of-sets"},
 	}
+	maxBuf := 0
 	for _, k := range sortedKeys(counts) {
 		res.Rows = append(res.Rows, []string{fmt.Sprint(k), fmt.Sprint(counts[k])})
+		if counts[k] > 0 && k > maxBuf {
+			maxBuf = k
+		}
 	}
+	res.AddMetric("ring_buffers", "buffers", float64(opts.NIC.RingSize))
+	res.AddMetric("aligned_sets", "sets", float64(ccfg.AlignedSetCount()))
+	res.AddMetric("empty_sets", "sets", float64(counts[0]))
+	res.AddMetric("max_buffers_per_set", "buffers", float64(maxBuf))
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("%d ring buffers over %d page-aligned sets (paper: 256 over 256)",
 			opts.NIC.RingSize, ccfg.AlignedSetCount()),
@@ -92,6 +100,9 @@ func Fig6(scale Scale, seed int64) (Result, error) {
 			fmt.Sprint(k), fmt.Sprint(agg[k]), pct(float64(agg[k]) / float64(total)),
 		})
 	}
+	res.AddMetric("empty_set_fraction", "fraction", float64(agg[0])/float64(total))
+	res.AddMetric("instances_over_four_buffers", "instances", float64(overFour))
+	res.AddMetric("instances", "instances", instances)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("instances with any set hosting >4 buffers: %d/%d (paper: 5/1000)", overFour, instances),
 		fmt.Sprintf("empty-set fraction: %s (paper: ~35%%)", pct(float64(agg[0])/float64(total))))
@@ -134,6 +145,11 @@ func Fig7(scale Scale, seed int64) (Result, error) {
 			{"receiving", pct(busyMean), fmt.Sprint(len(fp.ActiveGroups))},
 		},
 	}
+	res.AddMetric("idle_activity", "fraction", idleMean)
+	res.AddMetric("busy_activity", "fraction", busyMean)
+	res.AddMetric("active_groups", "groups", float64(len(fp.ActiveGroups)))
+	res.AddMetric("true_positive_groups", "groups", float64(hits))
+	res.AddMetric("buffer_hosting_sets", "sets", float64(len(truthSets)))
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("%d/%d flagged groups host ring buffers; %d buffer-hosting sets exist",
 			hits, len(fp.ActiveGroups), len(truthSets)),
@@ -161,7 +177,9 @@ func Fig8(scale Scale, seed int64) (Result, error) {
 		sf := chase.MeasureSizeFootprint(rig.spy, rig.groups, 4, 300, 2_000)
 		row := []string{fmt.Sprintf("%d-block", blocks)}
 		for k := 0; k < 4; k++ {
-			row = append(row, pct(chase.MeanRate(sf.BlockRate[k])))
+			rate := chase.MeanRate(sf.BlockRate[k])
+			row = append(row, pct(rate))
+			res.AddMetric(fmt.Sprintf("stream%d_block%d_activity", blocks, k), "fraction", rate)
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -229,6 +247,10 @@ func Table1(scale Scale, seed int64) (Result, error) {
 			{"Recovery time (sim-min)", f1(m.Mean), fmt.Sprintf("[%s, %s]", f1(m.Low), f1(m.High)), "159 [153, 167]"},
 		},
 	}
+	res.AddMetric("levenshtein_distance", "edits", d.Mean)
+	res.AddMetric("error_rate", "fraction", e.Mean)
+	res.AddMetric("longest_mismatch", "symbols", l.Mean)
+	res.AddMetric("recovery_time", "sim-min", m.Mean)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("params: %d samples/window, %d-set windows, %.0f pkt/s, %.0f probes/s",
 			params.Samples, params.WindowSize, packetRate, params.ProbeRate))

@@ -60,6 +60,9 @@ func Fig10(scale Scale, seed int64) (Result, error) {
 			fmt.Sprintf("error rate %s; the paper's Fig 10 shows the same windowed decode on sets 1..3", pct(res0.ErrorRate)),
 		},
 	}
+	res.AddMetric("error_rate", "fraction", res0.ErrorRate)
+	res.AddMetric("symbols_sent", "symbols", float64(len(res0.Sent)))
+	res.AddMetric("symbols_received", "symbols", float64(len(res0.Received)))
 	return res, nil
 }
 
@@ -95,6 +98,9 @@ func Fig11(scale Scale, seed int64) (Result, error) {
 				enc.String(), fmt.Sprintf("%.0f kHz", rate/1000),
 				fmt.Sprintf("%.0f", r.Bandwidth), pct(r.ErrorRate),
 			})
+			key := fmt.Sprintf("%s_%.0fkhz", slug(enc.String()), rate/1000)
+			res.AddMetric(key+"_bandwidth", "bps", r.Bandwidth)
+			res.AddMetric(key+"_error", "fraction", r.ErrorRate)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -125,6 +131,8 @@ func Fig12ab(scale Scale, seed int64) (Result, error) {
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprint(n), f1(r.Bandwidth / 1000), pct(r.ErrorRate),
 		})
+		res.AddMetric(fmt.Sprintf("buffers%d_bandwidth", n), "kbps", r.Bandwidth/1000)
+		res.AddMetric(fmt.Sprintf("buffers%d_error", n), "fraction", r.ErrorRate)
 	}
 	res.Notes = append(res.Notes,
 		"paper shape: bandwidth ~doubles per doubling of monitored buffers (to ~24.5 kbps at 16); error jumps at 16")
@@ -154,6 +162,9 @@ func Fig12cd(scale Scale, seed int64) (Result, error) {
 			fmt.Sprintf("%d/%d", len(r.Received), len(r.Sent)),
 			fmt.Sprint(r.OutOfSync), pct(r.ErrorRate),
 		})
+		key := fmt.Sprintf("rate%.0fkbps", kbps)
+		res.AddMetric(key+"_out_of_sync", "events", float64(r.OutOfSync))
+		res.AddMetric(key+"_error", "fraction", r.ErrorRate)
 	}
 	res.Notes = append(res.Notes,
 		"paper shape: out-of-sync roughly flat with rate; error jumps at 640 kbps when packets begin arriving out of order",

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/perfsim"
 	"repro/internal/probe"
@@ -31,7 +32,7 @@ func newAttackRigOpts(opts testbed.Options) (*attackRig, error) {
 // paper's defense evaluation models; our perfsim models the same machine
 // at memory-system granularity).
 func Table2(Scale, int64) (Result, error) {
-	return Result{
+	res := Result{
 		ID:     "table2",
 		Title:  "baseline processor (paper Table II; substrate for Figs 14-16)",
 		Header: []string{"parameter", "value", "modeled here"},
@@ -45,7 +46,16 @@ func Table2(Scale, int64) (Result, error) {
 			{"Adaptation period p", "10k cycles; Thigh=5k, Tlow=2k; quota 1..3", "yes (cache.PartitionConfig)"},
 		},
 		Notes: []string{"core microarchitecture is abstracted into per-request compute cycles; Figs 14-16 depend on the memory system, which is modeled"},
-	}, nil
+	}
+	modeled := 0
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row[2], "yes") {
+			modeled++
+		}
+	}
+	res.AddMetric("modeled_parameters", "rows", float64(modeled))
+	res.AddMetric("total_parameters", "rows", float64(len(res.Rows)))
+	return res, nil
 }
 
 const (
@@ -84,7 +94,12 @@ func Fig14(scale Scale, seed int64) (Result, error) {
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%d MB", llc>>20), f1(d / 1000), f1(a / 1000), pct(loss),
 		})
+		key := fmt.Sprintf("llc%dmb", llc>>20)
+		res.AddMetric(key+"_ddio_throughput", "krps", d/1000)
+		res.AddMetric(key+"_adaptive_throughput", "krps", a/1000)
+		res.AddMetric(key+"_adaptive_loss", "fraction", loss)
 	}
+	res.AddMetric("worst_adaptive_loss", "fraction", worst)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("worst-case adaptive loss %s (paper: 2.7%% at 20 MB, <2%% average)", pct(worst)))
 	return res, nil
@@ -133,6 +148,10 @@ func Fig15(scale Scale, seed int64) (Result, error) {
 			res.Rows = append(res.Rows, []string{
 				wl.name, s.String(), f2(r), f2(w), f2(miss),
 			})
+			key := slug(wl.name) + "_" + slug(s.String())
+			res.AddMetric(key+"_norm_reads", "ratio", r)
+			res.AddMetric(key+"_norm_writes", "ratio", w)
+			res.AddMetric(key+"_norm_miss_rate", "ratio", miss)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -181,11 +200,13 @@ func Fig16(scale Scale, seed int64) (Result, error) {
 			}
 			row = append(row, fmt.Sprintf("%.0f", v))
 		}
+		res.AddMetric(slug(s.String())+"_p99_latency", "cycles", p99)
 		if s == perfsim.SchemeDDIO {
 			baseP99 = p99
 			row = append(row, "baseline")
 		} else {
 			row = append(row, fmt.Sprintf("%+.1f%%", 100*(p99-baseP99)/baseP99))
+			res.AddMetric(slug(s.String())+"_p99_delta", "fraction", (p99-baseP99)/baseP99)
 		}
 		res.Rows = append(res.Rows, row)
 	}

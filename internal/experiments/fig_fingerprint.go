@@ -33,6 +33,7 @@ func Fig13(scale Scale, seed int64) (Result, error) {
 		res.Rows = append(res.Rows,
 			[]string{site.Name + " (true)", classString(truth)},
 			[]string{site.Name + " (recovered)", classString(classes)})
+		res.AddMetric(slug(site.Name)+"_class_accuracy", "fraction", classAccuracy(truth, classes))
 	}
 	res.Notes = append(res.Notes,
 		"paper shape: the successful login shows a long 4+ run (dashboard page); the failure is short and small")
@@ -66,10 +67,38 @@ func Fingerprint(scale Scale, seed int64) (Result, error) {
 			name, paper = "without DDIO", "86.5%"
 		}
 		res.Rows = append(res.Rows, []string{name, pct(ev.Accuracy()), paper})
+		res.AddMetric(slug(name)+"_accuracy", "fraction", ev.Accuracy())
 	}
 	res.Notes = append(res.Notes,
 		"paper shape: high closed-world accuracy, slightly lower without DDIO (coarser, noisier size recovery)")
 	return res, nil
+}
+
+// classAccuracy is the fraction of positions where the recovered size
+// classes match the true trace, clamping 4+ to one class the way the
+// figure renders it. Length mismatches count as errors against the longer
+// sequence.
+func classAccuracy(truth, recovered []int) float64 {
+	clamp := func(c int) int {
+		if c > 4 {
+			return 4
+		}
+		return c
+	}
+	n := len(truth)
+	if len(recovered) > n {
+		n = len(recovered)
+	}
+	if n == 0 {
+		return 0
+	}
+	match := 0
+	for i := 0; i < len(truth) && i < len(recovered); i++ {
+		if clamp(truth[i]) == clamp(recovered[i]) {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
 }
 
 func classString(classes []int) string {

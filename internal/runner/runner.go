@@ -1,0 +1,202 @@
+// Package runner executes the experiment registry as a concurrent,
+// multi-trial sweep. It fans experiments out over a worker pool, runs
+// each experiment as T independent trials with decorrelated per-trial
+// seeds (sim.DeriveSeed over "expID/trialN" labels), and reduces the
+// per-trial metric values into mean / stddev / min-max summaries.
+//
+// The runner's determinism contract: for a fixed (selection, scale,
+// seed, trials), the aggregated Report — and therefore its JSON encoding
+// — is byte-identical regardless of the worker-pool width. Trials are
+// pure functions of their derived seed, results land in pre-assigned
+// slots rather than a completion-ordered list, and wall-clock timings
+// are kept out of the serialized document.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Scale is the machine scale every trial runs at.
+	Scale experiments.Scale
+	// Seed is the root seed; per-trial seeds are derived from it.
+	Seed int64
+	// Trials is the number of independent trials per experiment
+	// (minimum 1).
+	Trials int
+	// Parallel is the worker-pool width; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Progress, when non-nil, receives one line per completed trial
+	// (typically os.Stderr).
+	Progress io.Writer
+}
+
+// TrialSeed derives the seed for one trial of one experiment. Seeds are
+// decorrelated across both experiments and trial indices, so trials can
+// run in any order on any worker without sharing RNG state.
+func TrialSeed(root int64, expID string, trial int) int64 {
+	return sim.DeriveSeed(root, fmt.Sprintf("%s/trial%d", expID, trial))
+}
+
+// trialOutcome is one (experiment, trial) slot of the result matrix.
+type trialOutcome struct {
+	result experiments.Result
+	err    error
+	wall   time.Duration
+}
+
+// Run executes every selected experiment for opts.Trials trials on a
+// pool of opts.Parallel workers and aggregates the outcome. The returned
+// error only reports harness-level misuse (empty selection); individual
+// experiment failures are recorded per experiment in the Report so one
+// broken artifact does not discard the rest of a sweep.
+func Run(selected []experiments.Experiment, opts Options) (*Report, error) {
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("runner: no experiments selected")
+	}
+	if opts.Trials < 1 {
+		opts.Trials = 1
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ ei, ti int }
+	outcomes := make([][]trialOutcome, len(selected))
+	for i := range outcomes {
+		outcomes[i] = make([]trialOutcome, opts.Trials)
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	total := len(selected) * opts.Trials
+
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				e := selected[j.ei]
+				seed := TrialSeed(opts.Seed, e.ID, j.ti)
+				start := time.Now()
+				res, err := e.Run(opts.Scale, seed)
+				wall := time.Since(start)
+				outcomes[j.ei][j.ti] = trialOutcome{result: res, err: err, wall: wall}
+				status := "ok"
+				if err != nil {
+					status = "FAIL: " + err.Error()
+				}
+				// Increment and print under one critical section so the
+				// [n/total] counters appear in order on stderr.
+				progressMu.Lock()
+				done++
+				if opts.Progress != nil {
+					fmt.Fprintf(opts.Progress, "[%d/%d] %s trial %d/%d: %s (%.1fs)\n",
+						done, total, e.ID, j.ti+1, opts.Trials, status, wall.Seconds())
+				}
+				progressMu.Unlock()
+			}
+		}()
+	}
+	for ei := range selected {
+		for ti := 0; ti < opts.Trials; ti++ {
+			jobs <- job{ei, ti}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{
+		Schema: SchemaVersion,
+		Scale:  opts.Scale.String(),
+		Seed:   opts.Seed,
+		Trials: opts.Trials,
+	}
+	for ei, e := range selected {
+		rep.Experiments = append(rep.Experiments, aggregate(e, outcomes[ei]))
+	}
+	return rep, nil
+}
+
+// aggregate reduces one experiment's trial outcomes into its report
+// entry. Metric order follows the first successful trial (every trial
+// runs the same code, so the set and order of metric names match); the
+// values slice is ordered by trial index.
+func aggregate(e experiments.Experiment, trials []trialOutcome) ExperimentReport {
+	er := ExperimentReport{ID: e.ID, Title: e.Short, OK: true}
+	first := -1
+	for ti, t := range trials {
+		er.Wall += t.wall
+		if t.err != nil {
+			if er.OK {
+				er.OK = false
+				er.Error = fmt.Sprintf("trial %d: %v", ti, t.err)
+			}
+			continue
+		}
+		if first < 0 {
+			first = ti
+		}
+	}
+	if first < 0 {
+		return er
+	}
+	er.Table = trials[first].result
+	if title := trials[first].result.Title; title != "" {
+		er.Title = title
+	}
+	// Metrics are matched across trials by (name, occurrence ordinal) so
+	// an accidental duplicate name aggregates positionally instead of
+	// collapsing every occurrence onto the first one's values.
+	type key struct {
+		name string
+		ord  int
+	}
+	byKey := func(ms []experiments.Metric) map[key]float64 {
+		seen := map[string]int{}
+		out := make(map[key]float64, len(ms))
+		for _, m := range ms {
+			out[key{m.Name, seen[m.Name]}] = m.Value
+			seen[m.Name]++
+		}
+		return out
+	}
+	trialValues := make([]map[key]float64, len(trials))
+	for ti, t := range trials {
+		if t.err == nil {
+			trialValues[ti] = byKey(t.result.Metrics)
+		}
+	}
+	ord := map[string]int{}
+	for _, m := range trials[first].result.Metrics {
+		k := key{m.Name, ord[m.Name]}
+		ord[m.Name]++
+		values := make([]float64, 0, len(trials))
+		for _, tv := range trialValues {
+			if tv == nil {
+				continue
+			}
+			if v, ok := tv[k]; ok {
+				values = append(values, v)
+			}
+		}
+		er.Metrics = append(er.Metrics, MetricSummary{
+			Name:    m.Name,
+			Unit:    m.Unit,
+			Summary: stats.Summarize(values),
+			Values:  values,
+		})
+	}
+	return er
+}

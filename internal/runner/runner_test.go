@@ -1,0 +1,252 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// fakeExp returns a cheap deterministic experiment whose single metric
+// is a pure function of the seed, so aggregation can be checked exactly.
+func fakeExp(id string) experiments.Experiment {
+	return experiments.Experiment{
+		ID:    id,
+		Short: "fake " + id,
+		Run: func(scale experiments.Scale, seed int64) (experiments.Result, error) {
+			res := experiments.Result{
+				ID:     id,
+				Title:  "fake " + id,
+				Header: []string{"k", "v"},
+				Rows:   [][]string{{"seed", fmt.Sprint(seed)}},
+			}
+			res.AddMetric("seed_mod", "units", float64(seed%1000))
+			res.AddMetric("constant", "", 42)
+			return res, nil
+		},
+	}
+}
+
+func runJSON(t *testing.T, sel []experiments.Experiment, opts Options) []byte {
+	t.Helper()
+	rep, err := Run(sel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelWidthDeterminism is the runner's core contract: the same
+// (selection, scale, seed, trials) must serialize to byte-identical JSON
+// whether trials run on one worker or on eight.
+func TestParallelWidthDeterminism(t *testing.T) {
+	sel := []experiments.Experiment{fakeExp("a"), fakeExp("b"), fakeExp("c")}
+	if real, ok := experiments.ByID("fig5"); ok {
+		sel = append(sel, real) // one real experiment for integration coverage
+	}
+	base := Options{Scale: experiments.Demo, Seed: 7, Trials: 4, Parallel: 1}
+	serial := runJSON(t, sel, base)
+	for _, width := range []int{2, 8} {
+		opts := base
+		opts.Parallel = width
+		if got := runJSON(t, sel, opts); !bytes.Equal(serial, got) {
+			t.Errorf("JSON differs between -parallel 1 and -parallel %d", width)
+		}
+	}
+}
+
+func TestAggregationExact(t *testing.T) {
+	const trials = 5
+	rep, err := Run([]experiments.Experiment{fakeExp("x")}, Options{
+		Scale: experiments.Demo, Seed: 3, Trials: trials, Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := rep.Experiments[0]
+	if !er.OK || len(er.Metrics) != 2 {
+		t.Fatalf("unexpected report: %+v", er)
+	}
+	var want []float64
+	var sum float64
+	for ti := 0; ti < trials; ti++ {
+		v := float64(TrialSeed(3, "x", ti) % 1000)
+		want = append(want, v)
+		sum += v
+	}
+	m := er.Metrics[0]
+	if m.Name != "seed_mod" {
+		t.Fatalf("metric order not preserved: %q", m.Name)
+	}
+	if len(m.Values) != trials {
+		t.Fatalf("want %d values got %d", trials, len(m.Values))
+	}
+	for i, v := range m.Values {
+		if v != want[i] {
+			t.Errorf("value[%d] = %v want %v (trial order not preserved)", i, v, want[i])
+		}
+	}
+	if math.Abs(m.Summary.Mean-sum/trials) > 1e-12 {
+		t.Errorf("mean %v want %v", m.Summary.Mean, sum/trials)
+	}
+	if c := er.Metrics[1]; c.Summary.StdDev != 0 || c.Summary.Mean != 42 {
+		t.Errorf("constant metric should aggregate to 42 +/- 0: %+v", c.Summary)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	boom := experiments.Experiment{
+		ID: "boom", Short: "always fails",
+		Run: func(experiments.Scale, int64) (experiments.Result, error) {
+			return experiments.Result{}, errors.New("kaput")
+		},
+	}
+	rep, err := Run([]experiments.Experiment{fakeExp("ok"), boom}, Options{
+		Scale: experiments.Demo, Seed: 1, Trials: 2, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 1 {
+		t.Fatalf("Failed() = %d want 1", rep.Failed())
+	}
+	er := rep.Experiments[1]
+	if er.OK || !strings.Contains(er.Error, "kaput") {
+		t.Errorf("failure not recorded: %+v", er)
+	}
+	if rep.Experiments[0].OK != true {
+		t.Error("healthy experiment must stay OK")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Error("text rendering must surface the failure")
+	}
+}
+
+// TestDuplicateMetricNamesAggregatePositionally: if an experiment ever
+// emits two metrics with the same name, each occurrence must aggregate
+// its own values rather than both collapsing onto the first.
+func TestDuplicateMetricNamesAggregatePositionally(t *testing.T) {
+	dup := experiments.Experiment{
+		ID: "dup", Short: "duplicate metric names",
+		Run: func(_ experiments.Scale, seed int64) (experiments.Result, error) {
+			res := experiments.Result{ID: "dup", Title: "dup", Header: []string{"k"}, Rows: [][]string{{"v"}}}
+			res.AddMetric("m", "", float64(seed%100))
+			res.AddMetric("m", "", float64(seed%100)+1000)
+			return res, nil
+		},
+	}
+	rep, err := Run([]experiments.Experiment{dup}, Options{
+		Scale: experiments.Demo, Seed: 5, Trials: 3, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rep.Experiments[0].Metrics
+	if len(ms) != 2 {
+		t.Fatalf("want 2 metric entries, got %d", len(ms))
+	}
+	for ti := 0; ti < 3; ti++ {
+		base := float64(TrialSeed(5, "dup", ti) % 100)
+		if ms[0].Values[ti] != base {
+			t.Errorf("first occurrence trial %d = %v want %v", ti, ms[0].Values[ti], base)
+		}
+		if ms[1].Values[ti] != base+1000 {
+			t.Errorf("second occurrence trial %d = %v want %v", ti, ms[1].Values[ti], base+1000)
+		}
+	}
+}
+
+// TestPartialFailureKeepsSurvivingTrials: one failing trial must mark
+// the experiment failed without discarding the surviving trials'
+// aggregate — in the report and in the text rendering.
+func TestPartialFailureKeepsSurvivingTrials(t *testing.T) {
+	failSeed := TrialSeed(1, "flaky", 0)
+	flaky := experiments.Experiment{
+		ID: "flaky", Short: "fails trial 0",
+		Run: func(_ experiments.Scale, seed int64) (experiments.Result, error) {
+			if seed == failSeed {
+				return experiments.Result{}, errors.New("boom0")
+			}
+			res := experiments.Result{
+				ID: "flaky", Title: "flaky", Header: []string{"k"}, Rows: [][]string{{"v"}},
+			}
+			res.AddMetric("m", "", 1)
+			return res, nil
+		},
+	}
+	rep, err := Run([]experiments.Experiment{flaky}, Options{
+		Scale: experiments.Demo, Seed: 1, Trials: 3, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := rep.Experiments[0]
+	if er.OK || !strings.Contains(er.Error, "trial 0") {
+		t.Fatalf("failure not attributed to trial 0: %+v", er)
+	}
+	if len(er.Metrics) != 1 || er.Metrics[0].Summary.N != 2 {
+		t.Fatalf("surviving trials must still aggregate: %+v", er.Metrics)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "== flaky: flaky ==") {
+		t.Errorf("text must show both the failure and the surviving table:\n%s", out)
+	}
+}
+
+func TestRunRejectsEmptySelection(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("empty selection must error")
+	}
+}
+
+// TestTrialSeedsDistinct checks the derived seeds are pairwise distinct
+// across the whole registry at a realistic trial count — a collision
+// would silently correlate two trials.
+func TestTrialSeedsDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, e := range experiments.All() {
+		for ti := 0; ti < 16; ti++ {
+			s := TrialSeed(1, e.ID, ti)
+			key := fmt.Sprintf("%s/%d", e.ID, ti)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestWriteTextAggregateBlock(t *testing.T) {
+	rep, err := Run([]experiments.Experiment{fakeExp("x")}, Options{
+		Scale: experiments.Demo, Seed: 1, Trials: 3, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"aggregate over 3 trials", "seed_mod", "== x: fake x =="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

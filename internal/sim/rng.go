@@ -15,10 +15,12 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{Rand: rand.New(rand.NewSource(seed))}
 }
 
-// Derive returns a new independent RNG derived from this RNG's seed space
-// and the given stream label. Two streams with different labels are
-// decorrelated even though they share a root seed.
-func Derive(root int64, label string) *RNG {
+// DeriveSeed maps a root seed plus a stream label to a new seed that is
+// decorrelated from the root and from every other label. It is the seed-
+// space counterpart of Derive, used where a component needs an int64 seed
+// (e.g. the experiment runner deriving per-trial seeds) rather than an
+// RNG.
+func DeriveSeed(root int64, label string) int64 {
 	h := uint64(root)
 	for _, c := range label {
 		h ^= uint64(c)
@@ -29,7 +31,14 @@ func Derive(root int64, label string) *RNG {
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
 	h ^= h >> 31
-	return NewRNG(int64(h))
+	return int64(h)
+}
+
+// Derive returns a new independent RNG derived from this RNG's seed space
+// and the given stream label. Two streams with different labels are
+// decorrelated even though they share a root seed.
+func Derive(root int64, label string) *RNG {
+	return NewRNG(DeriveSeed(root, label))
 }
 
 // Bernoulli returns true with probability p.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -66,6 +67,51 @@ func TestDeriveDecorrelates(t *testing.T) {
 		if c.Int63() != d.Int63() {
 			t.Fatal("same (seed,label) must reproduce")
 		}
+	}
+}
+
+// TestDeriveSeedTrialStreamsDecorrelated checks the property the
+// experiment runner relies on: RNG streams seeded from per-trial labels
+// of the same experiment are pairwise decorrelated.
+func TestDeriveSeedTrialStreamsDecorrelated(t *testing.T) {
+	const trials, draws = 8, 200
+	streams := make([][]float64, trials)
+	for ti := range streams {
+		r := NewRNG(DeriveSeed(1, "fig5/trial"+string(rune('0'+ti))))
+		xs := make([]float64, draws)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		streams[ti] = xs
+	}
+	for a := 0; a < trials; a++ {
+		for b := a + 1; b < trials; b++ {
+			// Pearson correlation of uniform draws; independent streams
+			// stay near 0 (|r| < 0.2 is generous at n=200).
+			var sa, sb, saa, sbb, sab float64
+			for i := 0; i < draws; i++ {
+				x, y := streams[a][i], streams[b][i]
+				sa += x
+				sb += y
+				saa += x * x
+				sbb += y * y
+				sab += x * y
+			}
+			n := float64(draws)
+			cov := sab/n - sa/n*sb/n
+			va := saa/n - sa/n*sa/n
+			vb := sbb/n - sb/n*sb/n
+			if r := cov / math.Sqrt(va*vb); math.Abs(r) > 0.2 {
+				t.Errorf("trials %d,%d correlated: r=%.3f", a, b, r)
+			}
+		}
+	}
+	// DeriveSeed must reproduce and must feed Derive.
+	if DeriveSeed(1, "x") != DeriveSeed(1, "x") {
+		t.Error("DeriveSeed must be deterministic")
+	}
+	if Derive(1, "x").Int63() != NewRNG(DeriveSeed(1, "x")).Int63() {
+		t.Error("Derive must be NewRNG over DeriveSeed")
 	}
 }
 

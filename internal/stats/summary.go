@@ -31,6 +31,35 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)-1))
 }
 
+// Summary reduces a metric's observations across independent trials into
+// the aggregate the experiment runner reports: mean, sample standard
+// deviation, and the observed range.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize computes the Summary of xs. An empty slice yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), Min: xs[0], Max: xs[0]}
+	for _, v := range xs[1:] {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	return s
+}
+
 // CI holds an empirical interval around a mean, in the style of the paper's
 // Table I which reports a value with a [low, high] interval.
 type CI struct {

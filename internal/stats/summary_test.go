@@ -19,6 +19,23 @@ func TestMeanStdDev(t *testing.T) {
 	}
 }
 
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 2, 9, 2})
+	if s.N != 4 || s.Mean != 4.25 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.StdDev-StdDev([]float64{4, 2, 9, 2})) > 1e-12 {
+		t.Errorf("stddev mismatch: %v", s.StdDev)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Errorf("empty input must give zero Summary: %+v", z)
+	}
+	one := Summarize([]float64{3})
+	if one.N != 1 || one.Mean != 3 || one.StdDev != 0 || one.Min != 3 || one.Max != 3 {
+		t.Errorf("single-element summary wrong: %+v", one)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	cases := []struct {
