@@ -1,15 +1,18 @@
 // Command experiments regenerates the paper's tables and figures through
-// the concurrent multi-trial runner.
+// the concurrent multi-trial runner, and runs the parameter-sweep
+// sensitivity studies.
 //
 // Usage:
 //
 //	experiments [-exp id,id,...|all] [-scale demo|paper] [-seed N]
 //	            [-trials T] [-parallel N] [-format text|json] [-o file]
+//	experiments -sweep id [same flags]
 //
 // Experiment ids follow the paper: fig5..fig16, table1, table2,
-// fingerprint (use -list for the full set). Demo scale (default) runs a
-// structurally faithful scaled machine in seconds; paper scale runs the
-// full 20 MB machine and can take minutes per offline-phase experiment.
+// fingerprint (use -list for the full set, including sweep ids). Demo
+// scale (default) runs a structurally faithful scaled machine in seconds;
+// paper scale runs the full 20 MB machine and can take minutes per
+// offline-phase experiment.
 //
 // Each experiment runs as T independent trials with decorrelated seeds
 // derived from the root seed, fanned out over a worker pool. Metrics are
@@ -17,8 +20,14 @@
 // machine-readable document whose bytes depend only on (selection,
 // scale, seed, trials) — never on -parallel — so CI can diff it.
 //
-// Exit status: 0 when every selected experiment succeeded, 1 when any
-// experiment failed, 2 on usage errors.
+// -sweep runs one sensitivity study instead: the sweep's cartesian grid
+// of scenario axes is fanned out over the worker pool with decorrelated
+// per-cell seeds, and the aggregated curve is emitted keyed by cell
+// coordinates under the packetchasing-sweep/v1 schema, with the same
+// parallel-width byte-determinism contract.
+//
+// Exit status: 0 when every selected experiment (or sweep cell)
+// succeeded, 1 when any failed, 2 on usage errors.
 package main
 
 import (
@@ -40,6 +49,7 @@ func main() {
 
 func run() int {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	sweep := flag.String("sweep", "", "run one parameter sweep by id instead of -exp (use -list)")
 	scaleFlag := flag.String("scale", "demo", "demo or paper")
 	seed := flag.Int64("seed", 1, "root random seed")
 	trials := flag.Int("trials", 1, "independent trials per experiment")
@@ -52,7 +62,10 @@ func run() int {
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Short)
+			fmt.Printf("%-18s %s\n", e.ID, e.Short)
+		}
+		for _, s := range experiments.Sweeps() {
+			fmt.Printf("%-18s [sweep, %d cells] %s\n", s.ID, s.Grid.Size(), s.Short)
 		}
 		return 0
 	}
@@ -75,7 +88,19 @@ func run() int {
 	}
 
 	var selected []experiments.Experiment
-	if *exp == "all" {
+	var sweepSel experiments.Sweep
+	if *sweep != "" {
+		if *exp != "all" {
+			fmt.Fprintf(os.Stderr, "-sweep and -exp are mutually exclusive\n")
+			return 2
+		}
+		s, ok := experiments.SweepByID(*sweep)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown sweep %q (use -list)\n", *sweep)
+			return 2
+		}
+		sweepSel = s
+	} else if *exp == "all" {
 		selected = experiments.All()
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
@@ -110,21 +135,44 @@ func run() int {
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
 	}
-	if progress != nil {
-		fmt.Fprintf(progress, "running %d experiment(s) x %d trial(s) on %d worker(s), %s scale, seed %d\n",
-			len(selected), *trials, width, scale, *seed)
-	}
-	start := time.Now()
-	rep, err := runner.Run(selected, runner.Options{
+	ropts := runner.Options{
 		Scale:    scale,
 		Seed:     *seed,
 		Trials:   *trials,
 		Parallel: width,
 		Progress: progress,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "runner: %v\n", err)
-		return 2
+	}
+	// Both report kinds share the output and exit-status contract.
+	var rep interface {
+		WriteJSON(io.Writer) error
+		WriteText(io.Writer) error
+		Failed() int
+	}
+	var total int
+	unit := "experiment"
+	start := time.Now()
+	if *sweep != "" {
+		if progress != nil {
+			fmt.Fprintf(progress, "sweeping %s: %d cell(s) x %d trial(s) on %d worker(s), %s scale, seed %d\n",
+				sweepSel.ID, sweepSel.Grid.Size(), *trials, width, scale, *seed)
+		}
+		r, err := runner.RunSweep(sweepSel, ropts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runner: %v\n", err)
+			return 2
+		}
+		rep, total, unit = r, len(r.Cells), "cell"
+	} else {
+		if progress != nil {
+			fmt.Fprintf(progress, "running %d experiment(s) x %d trial(s) on %d worker(s), %s scale, seed %d\n",
+				len(selected), *trials, width, scale, *seed)
+		}
+		r, err := runner.Run(selected, ropts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runner: %v\n", err)
+			return 2
+		}
+		rep, total = r, len(r.Experiments)
 	}
 	if progress != nil {
 		fmt.Fprintf(progress, "sweep finished in %.1fs wall\n", time.Since(start).Seconds())
@@ -155,7 +203,7 @@ func run() int {
 	}
 
 	if failed := rep.Failed(); failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d/%d experiment(s) failed\n", failed, len(rep.Experiments))
+		fmt.Fprintf(os.Stderr, "%d/%d %s(s) failed\n", failed, total, unit)
 		return 1
 	}
 	return 0

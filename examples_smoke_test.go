@@ -1,0 +1,65 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleDirs returns every program under examples/. Kept dynamic so a
+// new example is smoke-tested the moment it lands.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found")
+	}
+	return dirs
+}
+
+// TestExamplesCompileAndRun builds and executes every examples/ program:
+// each must exit 0 within its deadline and print something. The examples
+// double as end-to-end coverage of the public packetchasing API, so a
+// regression that only breaks the documented entry points surfaces here.
+func TestExamplesCompileAndRun(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bindir := t.TempDir()
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, dir)
+			build := exec.Command(goBin, "build", "-o", bin, "./examples/"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			var stdout, stderr bytes.Buffer
+			run := exec.CommandContext(ctx, bin)
+			run.Stdout, run.Stderr = &stdout, &stderr
+			if err := run.Run(); err != nil {
+				t.Fatalf("run failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Error("example printed nothing on stdout")
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/netmodel"
+	"repro/internal/nic"
+	"repro/internal/probe"
+	"repro/internal/testbed"
+)
+
+// fuzzWorld builds the smallest machine that still has a multi-buffer
+// ring to chase: 8 aligned sets, 8 ring buffers. Kept tiny because the
+// fuzzer builds one per input.
+func fuzzWorld(t *testing.T, seed int64) (*testbed.Testbed, *probe.Spy, []probe.EvictionSet) {
+	t.Helper()
+	opts := testbed.DefaultOptions(seed)
+	opts.Cache = cache.ScaledConfig(1, 512, 4)
+	opts.NIC = nic.DefaultConfig()
+	opts.NIC.RingSize = 8
+	opts.NoiseRate = 0
+	opts.TimerNoise = 0
+	opts.MemBytes = 1 << 26
+	tb, err := testbed.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy, err := probe.NewSpy(tb, opts.Cache.AlignedSetCount()*opts.Cache.Ways*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := spy.BuildAlignedEvictionSets(opts.Cache.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, spy, groups
+}
+
+// FuzzChaserResync drives the online chaser with adversarial frame
+// streams — byte pairs decode to (size, inter-frame gap), so the fuzzer
+// explores back-to-back bursts, sub-timeout stalls, and gaps long enough
+// to force out-of-sync recovery — and checks the chaser's structural
+// invariants: it terminates, reports well-formed size classes, never
+// moves simulated time backwards, and counts exactly the observations it
+// returns.
+func FuzzChaserResync(f *testing.F) {
+	// Seed corpus: paced stream, line-rate burst, resync-forcing stalls,
+	// alternating sizes, and a stall-heavy mix.
+	f.Add([]byte{4, 50, 4, 50, 4, 50, 4, 50})
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 255, 0, 255, 0})
+	f.Add([]byte{1, 200, 1, 200, 1, 200})
+	f.Add([]byte{0, 10, 255, 10, 0, 10, 255, 10, 0, 10, 255, 10})
+	f.Add([]byte{64, 255, 64, 0, 64, 255, 64, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 64 {
+			return // at least one frame; bound sim time per input
+		}
+		tb, spy, groups := fuzzWorld(t, 11)
+		ccfg := tb.Cache().Config()
+		byCanon := map[int]int{}
+		for _, g := range groups {
+			byCanon[ccfg.AlignedIndexOf(ccfg.GlobalSet(g.Lines[0]))] = g.ID
+		}
+		var ring []int
+		for _, s := range tb.NIC().RingAlignedSets(ccfg) {
+			ring = append(ring, byCanon[s])
+		}
+
+		var sizes []int
+		var gaps []uint64
+		for i := 0; i+1 < len(data); i += 2 {
+			size := netmodel.MinFrameSize + int(data[i])*6
+			if size > netmodel.MaxFrameSize {
+				size = netmodel.MaxFrameSize
+			}
+			sizes = append(sizes, size)
+			// Gaps up to ~2M cycles: beyond the shortened SyncTimeout, so
+			// high bytes force the resync path.
+			gaps = append(gaps, uint64(data[i+1])*8192)
+		}
+
+		cfg := DefaultChaserConfig()
+		cfg.SyncTimeout = 1_000_000
+		ch := NewChaser(spy, groups, ring, cfg)
+		wire := netmodel.NewWire(netmodel.GigabitRate)
+		tb.SetTraffic(netmodel.NewTraceSource(wire, sizes, gaps, tb.Clock().Now()+50_000))
+
+		obs := ch.Chase(len(sizes))
+		if ch.Observed != uint64(len(obs)) {
+			t.Fatalf("Observed %d != returned %d", ch.Observed, len(obs))
+		}
+		if p := ch.Position(); p < 0 || p >= len(ring) {
+			t.Fatalf("ring position %d out of range [0,%d)", p, len(ring))
+		}
+		var lastAt uint64
+		for i, o := range obs {
+			if o.Blocks < 1 || o.Blocks > cfg.MaxBlocks {
+				t.Fatalf("obs %d: size class %d outside [1,%d]", i, o.Blocks, cfg.MaxBlocks)
+			}
+			if o.At < lastAt {
+				t.Fatalf("obs %d: time went backwards (%d after %d)", i, o.At, lastAt)
+			}
+			lastAt = o.At
+		}
+	})
+}

@@ -19,8 +19,8 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/chase"
-	"repro/internal/nic"
 	"repro/internal/probe"
+	"repro/internal/scenario"
 	"repro/internal/testbed"
 )
 
@@ -145,22 +145,17 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// machineOptions returns testbed options for the scale.
+// baselineSpec returns the scenario every registry experiment runs at:
+// the full paper machine, or the scaled demo machine (2 slices x 2048
+// sets x 8 ways = 2 MB, 64 aligned sets, ring 64).
+func baselineSpec(scale Scale) scenario.Spec {
+	return scenario.Baseline(scale == Paper)
+}
+
+// machineOptions returns testbed options for the scale, built from the
+// baseline scenario spec.
 func machineOptions(scale Scale, seed int64) testbed.Options {
-	opts := testbed.DefaultOptions(seed)
-	switch scale {
-	case Paper:
-		opts.Cache = cache.PaperConfig()
-		opts.NIC = nic.DefaultConfig() // ring 256
-	default:
-		// 2 slices x 2048 sets x 8 ways = 2 MB; 64 aligned sets, ring 64.
-		opts.Cache = cache.ScaledConfig(2, 2048, 8)
-		opts.NIC = nic.DefaultConfig()
-		opts.NIC.RingSize = 64
-	}
-	opts.NoiseRate = 20_000
-	opts.TimerNoise = 4
-	return opts
+	return baselineSpec(scale).Options(seed)
 }
 
 func spyPages(opts testbed.Options) int {

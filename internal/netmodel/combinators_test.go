@@ -1,0 +1,96 @@
+package netmodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPoissonSourceRateAndSizes(t *testing.T) {
+	wire := NewWire(GigabitRate)
+	rng := sim.NewRNG(1)
+	sizes := []int{64, 256, 1514}
+	const n = 5000
+	src := NewPoissonSource(wire, sizes, 100_000, rng, 0, n)
+	frames := Collect(src, n+1)
+	if len(frames) != n {
+		t.Fatalf("got %d frames want %d", len(frames), n)
+	}
+	seen := map[int]int{}
+	last := uint64(0)
+	for i, f := range frames {
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !f.Known {
+			t.Fatal("poisson traffic must be ordinary known protocol traffic")
+		}
+		if f.Arrival < last {
+			t.Fatalf("arrival order violated at %d", i)
+		}
+		last = f.Arrival
+		seen[f.Size]++
+	}
+	for _, s := range sizes {
+		if seen[s] == 0 {
+			t.Errorf("size %d never drawn", s)
+		}
+	}
+	// Mean rate within 10% of nominal: n frames over the observed span.
+	rate := float64(n) / sim.Seconds(frames[n-1].Arrival)
+	if rate < 90_000 || rate > 110_000 {
+		t.Errorf("realized rate %.0f pps, want ~100k", rate)
+	}
+}
+
+func TestPoissonSourceEmptyPaletteFallsBack(t *testing.T) {
+	src := NewPoissonSource(NewWire(GigabitRate), nil, 1000, sim.NewRNG(1), 0, 3)
+	for f, ok := src.Next(); ok; f, ok = src.Next() {
+		if f.Size != MinFrameSize {
+			t.Fatalf("empty palette should emit minimum frames, got %d", f.Size)
+		}
+	}
+}
+
+func TestBurstySourceInsertsGapsKeepsOrder(t *testing.T) {
+	wire := NewWire(GigabitRate)
+	// 1000 frames at 100k pps = 10ms of steady inner traffic.
+	inner := NewConstantSource(wire, 64, 100_000, 0, 1000)
+	on, off := sim.Cycles(0.001), sim.Cycles(0.004)
+	src := NewBurstySource(inner, on, off, nil)
+	frames := Collect(src, 1001)
+	if len(frames) != 1000 {
+		t.Fatalf("bursty wrapper lost frames: %d", len(frames))
+	}
+	var maxGap uint64
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Arrival < frames[i-1].Arrival {
+			t.Fatalf("arrival order violated at %d", i)
+		}
+		if g := frames[i].Arrival - frames[i-1].Arrival; g > maxGap {
+			maxGap = g
+		}
+	}
+	// Off-windows must show up as gaps of at least the off duration.
+	if maxGap < off {
+		t.Errorf("no off-window gap found: max gap %d < off %d", maxGap, off)
+	}
+	// Total span stretches by roughly the inserted off time: 10ms of
+	// traffic in 1ms on-windows inserts ~9-10 off windows of 4ms.
+	span := frames[len(frames)-1].Arrival - frames[0].Arrival
+	if span < sim.Cycles(0.030) {
+		t.Errorf("span %d cycles too short for on/off gating", span)
+	}
+}
+
+func TestBurstySourceJitteredStillOrdered(t *testing.T) {
+	wire := NewWire(GigabitRate)
+	inner := NewPoissonSource(wire, []int{64, 1514}, 200_000, sim.NewRNG(2), 0, 2000)
+	src := NewBurstySource(inner, sim.Cycles(0.0005), sim.Cycles(0.002), sim.NewRNG(3))
+	frames := Collect(src, 2000)
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Arrival < frames[i-1].Arrival {
+			t.Fatalf("arrival order violated at %d", i)
+		}
+	}
+}

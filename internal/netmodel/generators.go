@@ -172,6 +172,104 @@ func ReorderProbabilityAt(packetRate float64) float64 {
 	return p
 }
 
+// PoissonSource emits frames with exponential inter-arrival gaps at a mean
+// rate, drawing each frame's size uniformly from a palette — the memoryless
+// background traffic of a server handling many independent clients. Frames
+// are Known (ordinary protocol traffic the receiving kernel processes), so
+// they exercise the driver's full copy/fragment path, unlike the attack's
+// dropped broadcast streams.
+type PoissonSource struct {
+	wire    *Wire
+	sizes   []int
+	meanGap float64
+	rng     *sim.RNG
+	nextAt  uint64
+	remain  int
+}
+
+// NewPoissonSource emits count frames (count < 0 means unbounded) at a mean
+// rate of rate frames/second beginning around cycle start. Sizes must be
+// non-empty; a single-element palette gives fixed-size Poisson traffic.
+func NewPoissonSource(wire *Wire, sizes []int, rate float64, rng *sim.RNG, start uint64, count int) *PoissonSource {
+	if len(sizes) == 0 {
+		sizes = []int{MinFrameSize}
+	}
+	return &PoissonSource{
+		wire:    wire,
+		sizes:   sizes,
+		meanGap: float64(sim.CyclesPerSecond(rate)),
+		rng:     rng,
+		nextAt:  start,
+		remain:  count,
+	}
+}
+
+// Next implements Source.
+func (s *PoissonSource) Next() (Frame, bool) {
+	if s.remain == 0 {
+		return Frame{}, false
+	}
+	if s.remain > 0 {
+		s.remain--
+	}
+	s.nextAt += uint64(s.rng.ExpFloat64()*s.meanGap + 0.5)
+	size := s.sizes[s.rng.Intn(len(s.sizes))]
+	return s.wire.Send(size, s.nextAt, true), true
+}
+
+// BurstySource gates an inner source into on/off windows: frames whose
+// inner-time arrival falls past the current on-window are pushed later by
+// the accumulated off time, producing the bursty shape of interactive web
+// traffic (page loads separated by think time). Relative pacing inside a
+// burst is preserved, so wire serialization still holds, and arrival order
+// is preserved because the inserted offset never decreases.
+type BurstySource struct {
+	inner   Source
+	on, off uint64
+	rng     *sim.RNG // optional: jitters window durations by +/-50%
+	started bool
+	onEnd   uint64 // end of the current on-window, in inner time
+	offset  uint64 // accumulated off time added to arrivals
+}
+
+// NewBurstySource wraps inner with on/off gating. on and off are window
+// durations in cycles; rng may be nil for strictly periodic windows.
+func NewBurstySource(inner Source, on, off uint64, rng *sim.RNG) *BurstySource {
+	if on == 0 {
+		on = 1
+	}
+	return &BurstySource{inner: inner, on: on, off: off, rng: rng}
+}
+
+func (s *BurstySource) window(d uint64) uint64 {
+	if s.rng == nil || d == 0 {
+		return d
+	}
+	w := uint64(s.rng.Jitter(float64(d), 0.5))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Next implements Source.
+func (s *BurstySource) Next() (Frame, bool) {
+	f, ok := s.inner.Next()
+	if !ok {
+		return Frame{}, false
+	}
+	if !s.started {
+		s.started = true
+		s.onEnd = f.Arrival + s.window(s.on)
+	}
+	for f.Arrival >= s.onEnd {
+		s.offset += s.window(s.off)
+		s.onEnd += s.window(s.on)
+	}
+	f.Arrival += s.offset
+	return f, true
+}
+
 // MixSource interleaves multiple sources in arrival order (victim traffic
 // plus background noise traffic). Sources must individually be in arrival
 // order.

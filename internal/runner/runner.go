@@ -40,6 +40,9 @@ type Options struct {
 	Progress io.Writer
 }
 
+// defaultParallel is the worker-pool width when none is requested.
+func defaultParallel() int { return runtime.GOMAXPROCS(0) }
+
 // TrialSeed derives the seed for one trial of one experiment. Seeds are
 // decorrelated across both experiments and trial indices, so trials can
 // run in any order on any worker without sharing RNG state.
@@ -52,6 +55,18 @@ type trialOutcome struct {
 	result experiments.Result
 	err    error
 	wall   time.Duration
+}
+
+// safeRun executes one trial, converting a panic into an ordinary trial
+// error so a single broken experiment cell fails its report entry instead
+// of taking down the whole sweep process.
+func safeRun(run func(experiments.Scale, int64) (experiments.Result, error), scale experiments.Scale, seed int64) (res experiments.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return run(scale, seed)
 }
 
 // Run executes every selected experiment for opts.Trials trials on a
@@ -67,7 +82,7 @@ func Run(selected []experiments.Experiment, opts Options) (*Report, error) {
 		opts.Trials = 1
 	}
 	if opts.Parallel <= 0 {
-		opts.Parallel = runtime.GOMAXPROCS(0)
+		opts.Parallel = defaultParallel()
 	}
 
 	type job struct{ ei, ti int }
@@ -90,7 +105,7 @@ func Run(selected []experiments.Experiment, opts Options) (*Report, error) {
 				e := selected[j.ei]
 				seed := TrialSeed(opts.Seed, e.ID, j.ti)
 				start := time.Now()
-				res, err := e.Run(opts.Scale, seed)
+				res, err := safeRun(e.Run, opts.Scale, seed)
 				wall := time.Since(start)
 				outcomes[j.ei][j.ti] = trialOutcome{result: res, err: err, wall: wall}
 				status := "ok"
@@ -124,17 +139,17 @@ func Run(selected []experiments.Experiment, opts Options) (*Report, error) {
 		Trials: opts.Trials,
 	}
 	for ei, e := range selected {
-		rep.Experiments = append(rep.Experiments, aggregate(e, outcomes[ei]))
+		rep.Experiments = append(rep.Experiments, aggregate(e.ID, e.Short, outcomes[ei]))
 	}
 	return rep, nil
 }
 
-// aggregate reduces one experiment's trial outcomes into its report
-// entry. Metric order follows the first successful trial (every trial
-// runs the same code, so the set and order of metric names match); the
-// values slice is ordered by trial index.
-func aggregate(e experiments.Experiment, trials []trialOutcome) ExperimentReport {
-	er := ExperimentReport{ID: e.ID, Title: e.Short, OK: true}
+// aggregate reduces one experiment's (or sweep cell's) trial outcomes into
+// a report entry. Metric order follows the first successful trial (every
+// trial runs the same code, so the set and order of metric names match);
+// the values slice is ordered by trial index.
+func aggregate(id, title string, trials []trialOutcome) ExperimentReport {
+	er := ExperimentReport{ID: id, Title: title, OK: true}
 	first := -1
 	for ti, t := range trials {
 		er.Wall += t.wall

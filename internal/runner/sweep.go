@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// SweepSchemaVersion identifies the sweep JSON document layout.
+const SweepSchemaVersion = "packetchasing-sweep/v1"
+
+// SweepReport is the aggregated outcome of one grid sweep. Like Report,
+// its JSON encoding excludes everything nondeterministic: for a fixed
+// (sweep, scale, seed, trials) the bytes are identical regardless of the
+// worker-pool width. Cells appear in the grid's row-major order and carry
+// their coordinates, so downstream tooling can rebuild any slice of the
+// parameter space without re-deriving the grid.
+type SweepReport struct {
+	Schema string          `json:"schema"`
+	Sweep  string          `json:"sweep"`
+	Title  string          `json:"title"`
+	Scale  string          `json:"scale"`
+	Seed   int64           `json:"seed"`
+	Trials int             `json:"trials"`
+	Axes   []scenario.Axis `json:"axes"`
+	Cells  []CellReport    `json:"cells"`
+}
+
+// CellReport is one grid cell's aggregated entry.
+type CellReport struct {
+	// Key is the cell's canonical coordinate string
+	// ("noise_rate=20000,timer_noise=4").
+	Key string `json:"key"`
+	// Coords is the cell's position as an axis->value map.
+	Coords map[string]float64 `json:"coords"`
+	OK     bool               `json:"ok"`
+	Error  string             `json:"error,omitempty"`
+	// Metrics aggregates the cell's trials like an experiment's.
+	Metrics []MetricSummary `json:"metrics,omitempty"`
+
+	// Wall is the summed wall-clock time of the cell's trials (stderr
+	// reporting only, never serialized).
+	Wall time.Duration `json:"-"`
+}
+
+// Failed counts cells with at least one failing trial.
+func (r *SweepReport) Failed() int {
+	n := 0
+	for _, c := range r.Cells {
+		if !c.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// MetricCurve extracts one metric's per-cell summaries in grid order — the
+// sensitivity curve downstream checks (monotonicity, CI assertions) read.
+func (r *SweepReport) MetricCurve(name string) []MetricSummary {
+	var out []MetricSummary
+	for _, c := range r.Cells {
+		for _, m := range c.Metrics {
+			if m.Name == name {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CellSeed derives the seed for one trial of one grid cell. Seeds are
+// decorrelated across sweeps, cells, and trial indices: the label bakes in
+// the sweep id and the cell's canonical key.
+func CellSeed(root int64, sweepID, cellKey string, trial int) int64 {
+	return sim.DeriveSeed(root, fmt.Sprintf("%s/%s/trial%d", sweepID, cellKey, trial))
+}
+
+// RunSweep executes every cell of the sweep's grid for opts.Trials trials
+// on a pool of opts.Parallel workers. Cell failures (including panics) are
+// recorded per cell so one broken corner of the parameter space does not
+// discard the rest of the curve.
+func RunSweep(sw experiments.Sweep, opts Options) (*SweepReport, error) {
+	if sw.Run == nil {
+		return nil, fmt.Errorf("runner: sweep %q has no run function", sw.ID)
+	}
+	if err := sw.Grid.Validate(); err != nil {
+		return nil, fmt.Errorf("runner: sweep %q: %w", sw.ID, err)
+	}
+	if opts.Trials < 1 {
+		opts.Trials = 1
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = defaultParallel()
+	}
+
+	cells := sw.Grid.Cells()
+	type job struct{ ci, ti int }
+	outcomes := make([][]trialOutcome, len(cells))
+	for i := range outcomes {
+		outcomes[i] = make([]trialOutcome, opts.Trials)
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	total := len(cells) * opts.Trials
+
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cell := cells[j.ci]
+				seed := CellSeed(opts.Seed, sw.ID, cell.Key(), j.ti)
+				start := time.Now()
+				res, err := safeRun(func(scale experiments.Scale, seed int64) (experiments.Result, error) {
+					return sw.Run(scale, seed, cell)
+				}, opts.Scale, seed)
+				wall := time.Since(start)
+				outcomes[j.ci][j.ti] = trialOutcome{result: res, err: err, wall: wall}
+				status := "ok"
+				if err != nil {
+					status = "FAIL: " + err.Error()
+				}
+				progressMu.Lock()
+				done++
+				if opts.Progress != nil {
+					fmt.Fprintf(opts.Progress, "[%d/%d] %s[%s] trial %d/%d: %s (%.1fs)\n",
+						done, total, sw.ID, cell.Key(), j.ti+1, opts.Trials, status, wall.Seconds())
+				}
+				progressMu.Unlock()
+			}
+		}()
+	}
+	for ci := range cells {
+		for ti := 0; ti < opts.Trials; ti++ {
+			jobs <- job{ci, ti}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &SweepReport{
+		Schema: SweepSchemaVersion,
+		Sweep:  sw.ID,
+		Title:  sw.Short,
+		Scale:  opts.Scale.String(),
+		Seed:   opts.Seed,
+		Trials: opts.Trials,
+		Axes:   sw.Grid,
+	}
+	for ci, cell := range cells {
+		agg := aggregate(cell.Key(), sw.Short, outcomes[ci])
+		rep.Cells = append(rep.Cells, CellReport{
+			Key:     cell.Key(),
+			Coords:  cell.Coords(),
+			OK:      agg.OK,
+			Error:   agg.Error,
+			Metrics: agg.Metrics,
+			Wall:    agg.Wall,
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the sweep report as indented, newline-terminated
+// JSON.
+func (r *SweepReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText renders the sweep as one aligned table: a row per (cell,
+// metric) with the aggregate summary, failures called out inline.
+func (r *SweepReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== sweep %s: %s ==\n", r.Sweep, r.Title); err != nil {
+		return err
+	}
+	keyW, nameW := len("cell"), len("metric")
+	for _, c := range r.Cells {
+		if len(c.Key) > keyW {
+			keyW = len(c.Key)
+		}
+		for _, m := range c.Metrics {
+			if len(m.Name) > nameW {
+				nameW = len(m.Name)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-*s  mean +/- stddev [min, max]\n", keyW, "cell", nameW, "metric"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if !c.OK {
+			if _, err := fmt.Fprintf(w, "%-*s  FAILED: %s\n", keyW, c.Key, c.Error); err != nil {
+				return err
+			}
+			if len(c.Metrics) == 0 {
+				continue
+			}
+		}
+		for _, m := range c.Metrics {
+			unit := ""
+			if m.Unit != "" {
+				unit = "  (" + m.Unit + ")"
+			}
+			if _, err := fmt.Fprintf(w, "%-*s  %-*s  %.6g +/- %.6g  [%.6g, %.6g]%s\n",
+				keyW, c.Key, nameW, m.Name, m.Summary.Mean, m.Summary.StdDev,
+				m.Summary.Min, m.Summary.Max, unit); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "(%s scale, seed %d, %d trial(s), %d cell(s))\n",
+		r.Scale, r.Seed, r.Trials, len(r.Cells))
+	return err
+}

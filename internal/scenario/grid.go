@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is one swept scenario parameter: a name and the values it takes.
+// Well-known names (see WithCell) map directly onto Spec fields; other
+// names are interpreted by the sweep experiment itself.
+type Axis struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// Grid is an ordered list of axes whose cartesian product defines the
+// cells of a parameter sweep.
+type Grid []Axis
+
+// Validate checks the grid is enumerable.
+func (g Grid) Validate() error {
+	if len(g) == 0 {
+		return fmt.Errorf("grid: no axes")
+	}
+	seen := map[string]bool{}
+	for _, a := range g {
+		if a.Name == "" {
+			return fmt.Errorf("grid: axis with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("grid: duplicate axis %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) == 0 {
+			return fmt.Errorf("grid: axis %q has no values", a.Name)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of cells in the cartesian product.
+func (g Grid) Size() int {
+	n := 1
+	for _, a := range g {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Cells enumerates the cartesian product in row-major order: the last axis
+// varies fastest. The order is part of the sweep report's determinism
+// contract, so it must never depend on anything but the grid itself.
+func (g Grid) Cells() []Cell {
+	axes := make([]string, len(g))
+	for i, a := range g {
+		axes[i] = a.Name
+	}
+	cells := make([]Cell, 0, g.Size())
+	idx := make([]int, len(g))
+	for {
+		values := make([]float64, len(g))
+		for i, a := range g {
+			values[i] = a.Values[idx[i]]
+		}
+		cells = append(cells, Cell{axes: axes, values: values})
+		i := len(g) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(g[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return cells
+		}
+	}
+}
+
+// Cell is one point of a grid: an ordered list of (axis, value) pairs.
+type Cell struct {
+	axes   []string
+	values []float64
+}
+
+// NewCell builds a cell directly (tests and hand-rolled sweeps).
+func NewCell(axes []string, values []float64) Cell {
+	return Cell{axes: axes, values: values}
+}
+
+// Key renders the cell as a stable coordinate string, e.g.
+// "noise_rate=20000,timer_noise=4". Axis order follows the grid, and
+// values use the shortest exact float form, so the key is deterministic
+// and usable as a map key, a report key, and an RNG derivation label.
+func (c Cell) Key() string {
+	var b strings.Builder
+	for i, a := range c.axes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(c.values[i], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Value returns the cell's value on the named axis.
+func (c Cell) Value(name string) (float64, bool) {
+	for i, a := range c.axes {
+		if a == name {
+			return c.values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Coords returns the cell as an axis->value map (JSON reporting; Go
+// marshals maps with sorted keys, so the encoding is deterministic).
+func (c Cell) Coords() map[string]float64 {
+	m := make(map[string]float64, len(c.axes))
+	for i, a := range c.axes {
+		m[a] = c.values[i]
+	}
+	return m
+}
+
+// Well-known axis names WithCell maps onto Spec fields.
+const (
+	AxisNoiseRate  = "noise_rate"
+	AxisTimerNoise = "timer_noise"
+	AxisRingSize   = "ring_size"
+)
+
+// WithCell returns a copy of the spec with the cell's well-known axes
+// applied. Axes the spec does not model (e.g. a sweep-private packet-rate
+// axis) are left for the sweep's own Run to read via Value.
+func (s Spec) WithCell(c Cell) Spec {
+	if v, ok := c.Value(AxisNoiseRate); ok {
+		s.NoiseRate = v
+	}
+	if v, ok := c.Value(AxisTimerNoise); ok {
+		s.TimerNoise = uint64(v)
+	}
+	if v, ok := c.Value(AxisRingSize); ok {
+		s.RingSize = int(v)
+	}
+	return s
+}

@@ -1,0 +1,273 @@
+// Package scenario turns the testbed's scattered knobs into declarative,
+// nameable experiment conditions. A Spec captures everything that defines
+// the world an attack runs in — cache and NIC geometry, background-noise
+// level, timer granularity, and a composable traffic mix — so sensitivity
+// studies sweep structured values instead of hand-editing option structs.
+// Named presets model the paper's deployment situations (§VI): an idle
+// server, a busy multi-tenant box, bursty interactive web traffic, and the
+// paced environment a covert channel prefers.
+//
+// The companion Grid type (grid.go) enumerates cartesian products of
+// scenario axes for the runner's sweep mode.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/netmodel"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// FlowKind selects a traffic generator family for one flow of a mix.
+type FlowKind string
+
+const (
+	// FlowConstant is fixed-size, fixed-rate traffic (the paper's
+	// broadcast helper streams).
+	FlowConstant FlowKind = "constant"
+	// FlowPoisson is memoryless traffic with sizes drawn from a palette.
+	FlowPoisson FlowKind = "poisson"
+)
+
+// Flow is one stream of a scenario's traffic mix.
+type Flow struct {
+	// Kind selects the generator; the zero value is FlowConstant.
+	Kind FlowKind
+	// Sizes is the frame-size palette in bytes. Constant flows use
+	// Sizes[0]; Poisson flows draw uniformly from the whole palette.
+	Sizes []int
+	// Rate is the mean packet rate in frames/second.
+	Rate float64
+	// Count bounds the stream length; < 0 means unbounded.
+	Count int
+	// BurstOn and BurstOff, when BurstOff > 0, gate the flow into on/off
+	// windows of the given durations in seconds of simulated time (web
+	// page loads separated by think time). Window lengths are jittered.
+	BurstOn, BurstOff float64
+}
+
+// Spec is a declarative experiment condition. The zero value of every
+// geometry field means "the paper machine's value", so a Spec only states
+// what a scenario changes.
+type Spec struct {
+	// Name identifies the scenario in reports and derived RNG streams.
+	Name string
+
+	// CacheSlices, CacheSetsPerSlice, CacheWays select the LLC geometry;
+	// all zero selects the paper's 8x2048x20 (20 MB) LLC.
+	CacheSlices, CacheSetsPerSlice, CacheWays int
+	// RingSize is the NIC rx descriptor count; 0 selects the IGB default
+	// (256).
+	RingSize int
+	// MemBytes is the physical memory size; 0 selects 1 GiB.
+	MemBytes uint64
+
+	// NoiseRate is the background process's cache-line touch rate in
+	// accesses/second (ambient co-tenant activity).
+	NoiseRate float64
+	// TimerNoise is the spy timer's jitter in cycles (0 = perfect timer).
+	TimerNoise uint64
+
+	// Flows is the scenario's background traffic mix. Experiments add
+	// their own attack stream on top (see BuildTraffic / MixWith).
+	Flows []Flow
+}
+
+// Baseline returns the machine the experiment registry has always run at:
+// the paper machine when paper is true, otherwise the structurally
+// faithful scaled demo machine (2 slices x 2048 sets x 8 ways, 64-buffer
+// ring). No background flows — experiments install their own traffic.
+func Baseline(paper bool) Spec {
+	s := Spec{Name: "baseline", NoiseRate: 20_000, TimerNoise: 4}
+	if !paper {
+		s.Name = "baseline-demo"
+		s.CacheSlices, s.CacheSetsPerSlice, s.CacheWays = 2, 2048, 8
+		s.RingSize = 64
+	}
+	return s
+}
+
+// Preset returns a named scenario (demo geometry), ok=false for unknown
+// names. The presets model the deployment situations the paper's
+// sensitivity discussion spans.
+func Preset(name string) (Spec, bool) {
+	s := Baseline(false)
+	s.Name = name
+	switch name {
+	case "idle-server":
+		// A mostly quiet machine: sparse keepalive traffic, little cache
+		// churn, a tight timer — the attack's best case.
+		s.NoiseRate = 2_000
+		s.TimerNoise = 2
+		s.Flows = []Flow{
+			{Kind: FlowPoisson, Sizes: []int{64, 128}, Rate: 1_000, Count: -1},
+		}
+	case "busy-multi-tenant":
+		// Heavy co-tenant cache pressure plus three independent traffic
+		// classes competing for the rx ring.
+		s.NoiseRate = 400_000
+		s.TimerNoise = 8
+		s.Flows = []Flow{
+			{Kind: FlowPoisson, Sizes: []int{64, 128, 256}, Rate: 40_000, Count: -1},
+			{Kind: FlowPoisson, Sizes: []int{512, 1024, 1514}, Rate: 15_000, Count: -1},
+			{Kind: FlowConstant, Sizes: []int{64}, Rate: 5_000, Count: -1},
+		}
+	case "bursty-web":
+		// Interactive web serving: MTU-heavy bursts (page loads) separated
+		// by idle think time, plus a trickle of small control packets.
+		s.NoiseRate = 50_000
+		s.Flows = []Flow{
+			{Kind: FlowPoisson, Sizes: []int{1514, 1514, 512, 256}, Rate: 30_000,
+				Count: -1, BurstOn: 0.002, BurstOff: 0.008},
+			{Kind: FlowPoisson, Sizes: []int{64}, Rate: 2_000, Count: -1},
+		}
+	case "paced-covert":
+		// The covert channel's preferred environment: no competing flows,
+		// low ambient noise, a clean timer. The trojan's paced stream is
+		// installed by the covert experiment itself.
+		s.NoiseRate = 5_000
+		s.TimerNoise = 2
+	default:
+		return Spec{}, false
+	}
+	return s, true
+}
+
+// PresetNames lists the preset names in a stable order.
+func PresetNames() []string {
+	return []string{"idle-server", "busy-multi-tenant", "bursty-web", "paced-covert"}
+}
+
+// Validate checks the spec is buildable.
+func (s Spec) Validate() error {
+	geom := []int{s.CacheSlices, s.CacheSetsPerSlice, s.CacheWays}
+	zero, set := 0, 0
+	for _, v := range geom {
+		if v == 0 {
+			zero++
+		} else if v > 0 {
+			set++
+		} else {
+			return fmt.Errorf("scenario %q: negative cache geometry", s.Name)
+		}
+	}
+	if zero != len(geom) && set != len(geom) {
+		return fmt.Errorf("scenario %q: cache geometry must be fully specified or fully defaulted", s.Name)
+	}
+	if s.RingSize < 0 {
+		return fmt.Errorf("scenario %q: negative ring size", s.Name)
+	}
+	if s.NoiseRate < 0 {
+		return fmt.Errorf("scenario %q: negative noise rate", s.Name)
+	}
+	for i, f := range s.Flows {
+		switch f.Kind {
+		case FlowConstant, FlowPoisson, "":
+		default:
+			return fmt.Errorf("scenario %q: flow %d has unknown kind %q", s.Name, i, f.Kind)
+		}
+		if f.Rate <= 0 {
+			return fmt.Errorf("scenario %q: flow %d rate must be positive", s.Name, i)
+		}
+		if len(f.Sizes) == 0 {
+			return fmt.Errorf("scenario %q: flow %d has no sizes", s.Name, i)
+		}
+		for _, sz := range f.Sizes {
+			if sz < netmodel.MinFrameSize || sz > netmodel.MaxFrameSize {
+				return fmt.Errorf("scenario %q: flow %d size %d outside [%d,%d]",
+					s.Name, i, sz, netmodel.MinFrameSize, netmodel.MaxFrameSize)
+			}
+		}
+		if f.BurstOff > 0 && f.BurstOn <= 0 {
+			return fmt.Errorf("scenario %q: flow %d bursty with zero on-window", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// Options builds the testbed options the spec describes. This is the only
+// path from a scenario to a machine: experiments that used to assemble
+// testbed.Options by hand now go through a Spec.
+func (s Spec) Options(seed int64) testbed.Options {
+	opts := testbed.DefaultOptions(seed)
+	if s.CacheSlices > 0 {
+		opts.Cache = cache.ScaledConfig(s.CacheSlices, s.CacheSetsPerSlice, s.CacheWays)
+	} else {
+		opts.Cache = cache.PaperConfig()
+	}
+	opts.NIC = nic.DefaultConfig()
+	if s.RingSize > 0 {
+		opts.NIC.RingSize = s.RingSize
+	}
+	if s.MemBytes > 0 {
+		opts.MemBytes = s.MemBytes
+	}
+	opts.NoiseRate = s.NoiseRate
+	opts.TimerNoise = s.TimerNoise
+	return opts
+}
+
+// NewTestbed validates the spec, builds its machine, and installs the
+// scenario's traffic mix (when it has one) starting at cycle 0.
+func (s Spec) NewTestbed(seed int64) (*testbed.Testbed, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tb, err := testbed.New(s.Options(seed))
+	if err != nil {
+		return nil, err
+	}
+	if src := s.BuildTraffic(seed, 0); src != nil {
+		tb.SetTraffic(src)
+	}
+	return tb, nil
+}
+
+// BuildTraffic assembles the scenario's flow mix as one arrival-ordered
+// Source on a shared 1 GbE wire, starting around cycle start. It returns
+// nil when the scenario has no flows. Each flow draws from its own derived
+// RNG stream, so adding a flow never perturbs the others.
+func (s Spec) BuildTraffic(seed int64, start uint64) netmodel.Source {
+	if len(s.Flows) == 0 {
+		return nil
+	}
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	sources := make([]netmodel.Source, len(s.Flows))
+	for i, f := range s.Flows {
+		rng := sim.Derive(seed, fmt.Sprintf("scenario/%s/flow%d", s.Name, i))
+		sources[i] = f.build(wire, rng, start)
+	}
+	if len(sources) == 1 {
+		return sources[0]
+	}
+	return netmodel.NewMixSource(sources...)
+}
+
+// MixWith combines an experiment's own stream with the scenario's
+// background mix. With no background flows the stream passes through
+// untouched.
+func (s Spec) MixWith(src netmodel.Source, seed int64, start uint64) netmodel.Source {
+	bg := s.BuildTraffic(seed, start)
+	if bg == nil {
+		return src
+	}
+	return netmodel.NewMixSource(src, bg)
+}
+
+// build assembles one flow on the shared wire.
+func (f Flow) build(wire *netmodel.Wire, rng *sim.RNG, start uint64) netmodel.Source {
+	var src netmodel.Source
+	switch f.Kind {
+	case FlowPoisson:
+		src = netmodel.NewPoissonSource(wire, f.Sizes, f.Rate, rng, start, f.Count)
+	default:
+		src = netmodel.NewConstantSource(wire, f.Sizes[0], f.Rate, start, f.Count)
+	}
+	if f.BurstOff > 0 {
+		src = netmodel.NewBurstySource(src, sim.Cycles(f.BurstOn), sim.Cycles(f.BurstOff), rng)
+	}
+	return src
+}

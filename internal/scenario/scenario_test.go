@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+func TestPresetsValidateAndDiffer(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range PresetNames() {
+		s, ok := Preset(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if s.Name != name {
+			t.Errorf("preset %q reports name %q", name, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if seen[name] {
+			t.Errorf("duplicate preset %q", name)
+		}
+		seen[name] = true
+	}
+	if _, ok := Preset("nope"); ok {
+		t.Error("unknown preset must not resolve")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"partial geometry", Spec{CacheSlices: 2}},
+		{"negative ring", Spec{RingSize: -1}},
+		{"negative noise", Spec{NoiseRate: -1}},
+		{"flow without sizes", Spec{Flows: []Flow{{Rate: 100}}}},
+		{"flow without rate", Spec{Flows: []Flow{{Sizes: []int{64}}}}},
+		{"flow bad kind", Spec{Flows: []Flow{{Kind: "warp", Sizes: []int{64}, Rate: 1}}}},
+		{"flow bad size", Spec{Flows: []Flow{{Sizes: []int{12}, Rate: 1}}}},
+		{"bursty without on-window", Spec{Flows: []Flow{{Sizes: []int{64}, Rate: 1, BurstOff: 0.1}}}},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestBaselineOptionsMatchLegacyShapes(t *testing.T) {
+	demo := Baseline(false).Options(3)
+	if demo.Cache.SizeBytes() != 2<<20 || demo.NIC.RingSize != 64 {
+		t.Errorf("demo baseline drifted: %d bytes LLC, ring %d", demo.Cache.SizeBytes(), demo.NIC.RingSize)
+	}
+	if demo.NoiseRate != 20_000 || demo.TimerNoise != 4 || demo.Seed != 3 {
+		t.Errorf("demo baseline environment drifted: %+v", demo)
+	}
+	paper := Baseline(true).Options(3)
+	if paper.Cache.SizeBytes() != 20<<20 || paper.NIC.RingSize != 256 {
+		t.Errorf("paper baseline drifted: %d bytes LLC, ring %d", paper.Cache.SizeBytes(), paper.NIC.RingSize)
+	}
+}
+
+// TestBuildTrafficOrderedAndDeterministic: every preset's mix must emit
+// frames in nondecreasing arrival order, valid frame sizes, and the exact
+// same stream for the same seed.
+func TestBuildTrafficOrderedAndDeterministic(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, _ := Preset(name)
+		if len(s.Flows) == 0 {
+			if src := s.BuildTraffic(1, 0); src != nil {
+				t.Errorf("%s: no flows but non-nil traffic", name)
+			}
+			continue
+		}
+		const n = 2000
+		a := netmodel.Collect(s.BuildTraffic(1, 0), n)
+		b := netmodel.Collect(s.BuildTraffic(1, 0), n)
+		if len(a) == 0 {
+			t.Fatalf("%s: mix emitted nothing", name)
+		}
+		for i, f := range a {
+			if err := f.Validate(); err != nil {
+				t.Fatalf("%s: frame %d: %v", name, i, err)
+			}
+			if i > 0 && f.Arrival < a[i-1].Arrival {
+				t.Fatalf("%s: arrival order violated at %d: %d < %d", name, i, f.Arrival, a[i-1].Arrival)
+			}
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: nondeterministic length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic frame %d: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestMixWithPassthrough(t *testing.T) {
+	s := Baseline(false) // no flows
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	src := netmodel.NewConstantSource(wire, 64, 1000, 0, 5)
+	if got := s.MixWith(src, 1, 0); got != netmodel.Source(src) {
+		t.Error("MixWith must pass through when the scenario has no flows")
+	}
+	s.Flows = []Flow{{Kind: FlowPoisson, Sizes: []int{64}, Rate: 1000, Count: 5}}
+	mixed := s.MixWith(netmodel.NewConstantSource(wire, 64, 1000, 0, 5), 1, 0)
+	frames := netmodel.Collect(mixed, 20)
+	if len(frames) != 10 {
+		t.Errorf("mixed stream has %d frames want 10", len(frames))
+	}
+}
+
+func TestNewTestbedInstallsMix(t *testing.T) {
+	s, _ := Preset("busy-multi-tenant")
+	for i := range s.Flows {
+		s.Flows[i].Count = 50
+	}
+	tb, err := s.NewTestbed(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tb.DrainTraffic(); n != 150 {
+		t.Errorf("drained %d frames want 150 (3 flows x 50)", n)
+	}
+	if tb.NIC().Stats().Received == 0 {
+		t.Error("NIC saw no frames from the scenario mix")
+	}
+}
+
+func TestGridCellsRowMajor(t *testing.T) {
+	g := Grid{
+		{Name: "a", Values: []float64{1, 2}},
+		{Name: "b", Values: []float64{10, 20, 30}},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := g.Cells()
+	if len(cells) != g.Size() || g.Size() != 6 {
+		t.Fatalf("got %d cells want 6", len(cells))
+	}
+	wantKeys := []string{
+		"a=1,b=10", "a=1,b=20", "a=1,b=30",
+		"a=2,b=10", "a=2,b=20", "a=2,b=30",
+	}
+	for i, c := range cells {
+		if c.Key() != wantKeys[i] {
+			t.Errorf("cell %d key %q want %q", i, c.Key(), wantKeys[i])
+		}
+	}
+	if v, ok := cells[4].Value("b"); !ok || v != 20 {
+		t.Errorf("cell 4 b = %v, %v", v, ok)
+	}
+	if _, ok := cells[0].Value("c"); ok {
+		t.Error("unknown axis must not resolve")
+	}
+	coords := cells[5].Coords()
+	if coords["a"] != 2 || coords["b"] != 30 {
+		t.Errorf("coords wrong: %v", coords)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	for _, g := range []Grid{
+		{},
+		{{Name: "", Values: []float64{1}}},
+		{{Name: "a", Values: nil}},
+		{{Name: "a", Values: []float64{1}}, {Name: "a", Values: []float64{2}}},
+	} {
+		if err := g.Validate(); err == nil {
+			t.Errorf("grid %+v must not validate", g)
+		}
+	}
+}
+
+func TestWithCell(t *testing.T) {
+	s := Baseline(false)
+	c := NewCell(
+		[]string{AxisNoiseRate, AxisTimerNoise, AxisRingSize, "private"},
+		[]float64{123456, 77, 32, 9},
+	)
+	got := s.WithCell(c)
+	if got.NoiseRate != 123456 || got.TimerNoise != 77 || got.RingSize != 32 {
+		t.Errorf("WithCell did not apply: %+v", got)
+	}
+	// The receiver must be untouched (value semantics).
+	if s.NoiseRate != 20_000 || s.TimerNoise != 4 || s.RingSize != 64 {
+		t.Errorf("WithCell mutated the base spec: %+v", s)
+	}
+}
