@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// machine-readable JSON document, so CI can archive benchmark results as
+// artifacts and downstream tooling can track the perf trajectory across
+// commits without scraping test logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Runner -benchtime 2x ./internal/runner | benchjson > BENCH_runner.json
+//
+// Lines that are not benchmark results (the pkg/cpu preamble, PASS/ok
+// trailers) are ignored. For every Cold/Warm benchmark pair sharing a
+// prefix (BenchmarkFooCold / BenchmarkFooWarm) a derived speedup entry is
+// emitted, which is the headline number of the warm-start runner work.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the document layout.
+const Schema = "packetchasing-bench/v1"
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup is a derived Cold-vs-Warm ratio.
+type Speedup struct {
+	Pair    string  `json:"pair"`
+	Cold    float64 `json:"cold_ns_per_op"`
+	Warm    float64 `json:"warm_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Schema     string      `json:"schema"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Document, error) {
+	doc := &Document{Schema: Schema}
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	doc.Speedups = deriveSpeedups(doc.Benchmarks)
+	return doc, nil
+}
+
+// parseLine decodes one `BenchmarkName-8  N  T ns/op [B B/op] [A allocs/op]`
+// line; ok=false for anything else.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix so names are stable across runners.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// deriveSpeedups pairs XxxCold with XxxWarm by shared prefix.
+func deriveSpeedups(bs []Benchmark) []Speedup {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var out []Speedup
+	for _, b := range bs {
+		base, ok := strings.CutSuffix(b.Name, "Cold")
+		if !ok {
+			continue
+		}
+		warm, ok := byName[base+"Warm"]
+		if !ok || warm.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Pair:    strings.TrimPrefix(base, "Benchmark"),
+			Cold:    b.NsPerOp,
+			Warm:    warm.NsPerOp,
+			Speedup: b.NsPerOp / warm.NsPerOp,
+		})
+	}
+	return out
+}

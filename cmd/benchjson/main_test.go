@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/runner
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunnerMultiTrialCold-8 	       2	 466024944 ns/op	78110124 B/op	   47952 allocs/op
+BenchmarkRunnerMultiTrialWarm-8 	       2	 146810022 ns/op	36046888 B/op	   18499 allocs/op
+BenchmarkRunnerSweepCold        	       2	2260825890 ns/op
+PASS
+ok  	repro/internal/runner	10.313s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema {
+		t.Errorf("schema %q", doc.Schema)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkRunnerMultiTrialCold" || b.Iterations != 2 ||
+		b.NsPerOp != 466024944 || b.BytesPerOp != 78110124 || b.AllocsPerOp != 47952 {
+		t.Errorf("first benchmark parsed wrong: %+v", b)
+	}
+	// The GOMAXPROCS suffix must be stripped even when absent.
+	if doc.Benchmarks[2].Name != "BenchmarkRunnerSweepCold" || doc.Benchmarks[2].BytesPerOp != 0 {
+		t.Errorf("third benchmark parsed wrong: %+v", doc.Benchmarks[2])
+	}
+	if len(doc.Speedups) != 1 {
+		t.Fatalf("derived %d speedups want 1 (SweepCold has no Warm partner)", len(doc.Speedups))
+	}
+	s := doc.Speedups[0]
+	if s.Pair != "RunnerMultiTrial" || s.Speedup < 3.1 || s.Speedup > 3.2 {
+		t.Errorf("speedup derived wrong: %+v", s)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"", "PASS", "ok  repro 1.2s", "Benchmark", "BenchmarkX abc 12 ns/op",
+		"pkg: repro/internal/runner",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

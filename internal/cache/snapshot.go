@@ -1,0 +1,62 @@
+package cache
+
+import "fmt"
+
+// Snapshot is a deep value copy of a cache's mutable state: line metadata,
+// partition counters, the LRU stamp source, and the traffic counters. It is
+// immutable once taken, so one snapshot can seed any number of restored
+// caches (the warm-start path clones machines concurrently from a shared
+// snapshot).
+type Snapshot struct {
+	geometry string // config fingerprint guarding against cross-machine restores
+	lines    []line // flattened [set*ways+way]
+	pstate   []setState
+	nextID   uint64
+	stats    Stats
+}
+
+// geometryKey identifies the cache shape a snapshot belongs to. Restoring
+// into a differently shaped cache is always a programming error.
+func geometryKey(cfg Config) string {
+	part := "none"
+	if cfg.Partition != nil {
+		p := cfg.Partition
+		part = fmt.Sprintf("%d-%d-%d-%d-%d", p.MinIOWays, p.MaxIOWays, p.Period, p.TLow, p.THigh)
+	}
+	return fmt.Sprintf("%dx%dx%d/ddio=%v/%d/part=%s",
+		cfg.Slices, cfg.SetsPerSlice, cfg.Ways, cfg.DDIO, cfg.DDIOWays, part)
+}
+
+// Snapshot captures the cache's full mutable state.
+func (c *Cache) Snapshot() *Snapshot {
+	s := &Snapshot{
+		geometry: geometryKey(c.cfg),
+		lines:    make([]line, 0, len(c.sets)*c.cfg.Ways),
+		nextID:   c.nextID,
+		stats:    c.stats,
+	}
+	for _, ways := range c.sets {
+		s.lines = append(s.lines, ways...)
+	}
+	if c.pstate != nil {
+		s.pstate = append([]setState(nil), c.pstate...)
+	}
+	return s
+}
+
+// Restore overwrites the cache's mutable state from a snapshot taken on a
+// cache with identical geometry. It panics on a geometry mismatch — that
+// can only mean two different machines' state got crossed.
+func (c *Cache) Restore(s *Snapshot) {
+	if got := geometryKey(c.cfg); got != s.geometry {
+		panic(fmt.Sprintf("cache: restoring snapshot of %q into %q", s.geometry, got))
+	}
+	for i, ways := range c.sets {
+		copy(ways, s.lines[i*c.cfg.Ways:(i+1)*c.cfg.Ways])
+	}
+	if c.pstate != nil {
+		copy(c.pstate, s.pstate)
+	}
+	c.nextID = s.nextID
+	c.stats = s.stats
+}

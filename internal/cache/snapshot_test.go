@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// opStream decodes a byte stream into cache operations — the shared
+// driver of the snapshot round-trip property and fuzz tests. Each op is
+// two bytes: kind and an address selector kept small so ops collide in
+// sets often (collisions are where eviction state lives).
+type opStream struct {
+	data []byte
+	pos  int
+}
+
+func (s *opStream) next() (kind byte, addr uint64, ok bool) {
+	if s.pos+2 > len(s.data) {
+		return 0, 0, false
+	}
+	kind = s.data[s.pos] % 5
+	addr = uint64(s.data[s.pos+1]) * 64 // one of 256 lines, always set-colliding at demo scale
+	s.pos += 2
+	return kind, addr, true
+}
+
+// applyOp runs one op, returning an observation fingerprint (hit flags,
+// latency) that replay must reproduce exactly.
+func applyOp(c *Cache, clock *sim.Clock, kind byte, addr uint64) uint64 {
+	switch kind {
+	case 0:
+		hit, lat := c.Read(addr)
+		clock.Advance(lat)
+		if hit {
+			return lat | 1<<32
+		}
+		return lat
+	case 1:
+		hit, lat := c.Write(addr)
+		clock.Advance(lat)
+		if hit {
+			return lat | 1<<32
+		}
+		return lat
+	case 2:
+		c.IOWrite(addr)
+		return 0
+	case 3:
+		c.Flush(addr)
+		return 0
+	default:
+		clock.Advance(100)
+		if c.Contains(addr) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// checkSnapshotReplay is the property: for any op prefix and suffix,
+// snapshot-after-prefix, run-suffix, restore, run-suffix-again must
+// observe identical results and identical final state.
+func checkSnapshotReplay(t *testing.T, cfg Config, data []byte) {
+	t.Helper()
+	if len(data) < 4 {
+		return
+	}
+	clock := sim.NewClock()
+	c := New(cfg, clock)
+	cut := int(data[0]) % (len(data) / 2)
+	stream := &opStream{data: data[1:]}
+	for i := 0; i < cut; i++ {
+		kind, addr, ok := stream.next()
+		if !ok {
+			break
+		}
+		applyOp(c, clock, kind, addr)
+	}
+	snap := c.Snapshot()
+	clockSnap := clock.Snapshot()
+	suffixStart := stream.pos
+
+	var first []uint64
+	for {
+		kind, addr, ok := stream.next()
+		if !ok {
+			break
+		}
+		first = append(first, applyOp(c, clock, kind, addr))
+	}
+	finalFirst := c.Snapshot()
+
+	c.Restore(snap)
+	clock.Restore(clockSnap)
+	stream.pos = suffixStart
+	var second []uint64
+	for {
+		kind, addr, ok := stream.next()
+		if !ok {
+			break
+		}
+		second = append(second, applyOp(c, clock, kind, addr))
+	}
+	finalSecond := c.Snapshot()
+
+	if len(first) != len(second) {
+		t.Fatalf("replay length mismatch: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("op %d observed %x on first run, %x on replay", i, first[i], second[i])
+		}
+	}
+	if !snapshotsEqual(finalFirst, finalSecond) {
+		t.Fatal("final cache state differs between run and replay")
+	}
+}
+
+func snapshotsEqual(a, b *Snapshot) bool {
+	if a.geometry != b.geometry || a.nextID != b.nextID || a.stats != b.stats {
+		return false
+	}
+	if len(a.lines) != len(b.lines) || len(a.pstate) != len(b.pstate) {
+		return false
+	}
+	for i := range a.lines {
+		if a.lines[i] != b.lines[i] {
+			return false
+		}
+	}
+	for i := range a.pstate {
+		if a.pstate[i] != b.pstate[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tinyConfig is a small cache where 256 lines generate heavy conflict.
+func tinyConfig(partition bool) Config {
+	cfg := ScaledConfig(2, 16, 4)
+	if partition {
+		cfg.Partition = DefaultPartitionConfig()
+	}
+	return cfg
+}
+
+func TestSnapshotReplayDeterministic(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 64+rng.Intn(192))
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		checkSnapshotReplay(t, tinyConfig(trial%2 == 1), data)
+	}
+}
+
+// TestSnapshotRestoreIntoFreshCache is the machine-clone path: a snapshot
+// taken on one cache restored into a newly constructed one with the same
+// config must behave identically to the original.
+func TestSnapshotRestoreIntoFreshCache(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := tinyConfig(true)
+	orig := New(cfg, clock)
+	rng := sim.NewRNG(5)
+	for i := 0; i < 500; i++ {
+		applyOp(orig, clock, byte(rng.Intn(5)), uint64(rng.Intn(256))*64)
+	}
+	snap := orig.Snapshot()
+
+	clone := New(cfg, clock)
+	clone.Restore(snap)
+	for i := 0; i < 200; i++ {
+		addr := uint64(rng.Intn(256)) * 64
+		// Drive both from one clock: advance manually to keep them aligned.
+		ho, _ := orig.Read(addr)
+		hc, _ := clone.Read(addr)
+		if ho != hc {
+			t.Fatalf("op %d (@%x): original hit=%v clone hit=%v", i, addr, ho, hc)
+		}
+		clock.Advance(50)
+	}
+	if orig.Stats() != clone.Stats() {
+		t.Fatalf("stats diverged:\n%+v\n%+v", orig.Stats(), clone.Stats())
+	}
+}
+
+func TestSnapshotGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restoring a mismatched snapshot must panic")
+		}
+	}()
+	clock := sim.NewClock()
+	a := New(ScaledConfig(2, 16, 4), clock)
+	b := New(ScaledConfig(2, 32, 4), clock)
+	b.Restore(a.Snapshot())
+}
+
+// FuzzSnapshotReplay lets the fuzzer hunt for op interleavings where
+// restore-then-replay diverges (LRU stamps, partition quotas, occupancy
+// integration are all in play).
+func FuzzSnapshotReplay(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 1, 2, 2, 64, 3, 128, 4, 192, 0, 7, 2, 9})
+	f.Add([]byte{10, 2, 2, 2, 3, 2, 4, 2, 5, 0, 6, 1, 7, 2, 8, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		checkSnapshotReplay(t, tinyConfig(len(data)%2 == 1), data)
+	})
+}

@@ -4,13 +4,32 @@ import "repro/internal/stats"
 
 // SequenceQuality is the Table I measurement block: the edit distance
 // between the recovered ring sequence and the driver's ground truth, the
-// normalized error rate, and the longest run of consecutive mismatches.
+// normalized error rate, the longest run of consecutive mismatches, and
+// the decomposition of the distance into operation classes. Insertions
+// are spurious recovered symbols (pollution read as signal), Deletions
+// are truth symbols the recovery missed, Substitutions are
+// misclassifications; the three sum to Levenshtein. The split is what
+// distinguishes "the metric saturated because everything extra leaked in"
+// (insertion-dominated) from "the attack stopped seeing the victim"
+// (deletion-dominated) on sensitivity curves.
 type SequenceQuality struct {
 	Levenshtein     int
 	ErrorRate       float64
 	LongestMismatch int
+	Insertions      int
+	Deletions       int
+	Substitutions   int
 	RecoveredLen    int
 	TruthLen        int
+}
+
+// Decompose aligns an observed sequence against the true one and splits
+// the edit distance into insertions (spurious observed symbols),
+// deletions (missed true symbols), and substitutions (misclassified
+// symbols). Orientation is truth -> observed, so "insertion" always means
+// "the attacker saw something that was not sent".
+func Decompose(truth, observed []int) (ins, del, sub int) {
+	return stats.LevenshteinOps(truth, observed)
 }
 
 // EvaluateCyclic compares a recovered sequence against the ground-truth
@@ -18,9 +37,12 @@ type SequenceQuality struct {
 // the distance is minimized over all rotations of the recovered sequence.
 func EvaluateCyclic(recovered, truth []int) SequenceQuality {
 	if len(recovered) == 0 || len(truth) == 0 {
+		ins, del, _ := Decompose(truth, recovered)
 		return SequenceQuality{
 			Levenshtein:  maxInt(len(recovered), len(truth)),
 			ErrorRate:    1,
+			Insertions:   ins,
+			Deletions:    del,
 			RecoveredLen: len(recovered),
 			TruthLen:     len(truth),
 		}
@@ -34,10 +56,14 @@ func EvaluateCyclic(recovered, truth []int) SequenceQuality {
 		}
 	}
 	rotated := rotate(recovered, bestRot)
+	ins, del, sub := Decompose(truth, rotated)
 	return SequenceQuality{
 		Levenshtein:     best,
 		ErrorRate:       float64(best) / float64(len(truth)),
 		LongestMismatch: stats.LongestMismatch(rotated, truth),
+		Insertions:      ins,
+		Deletions:       del,
+		Substitutions:   sub,
 		RecoveredLen:    len(recovered),
 		TruthLen:        len(truth),
 	}

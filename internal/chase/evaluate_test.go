@@ -1,0 +1,65 @@
+package chase
+
+import "testing"
+
+func TestDecomposeOrientation(t *testing.T) {
+	cases := []struct {
+		name            string
+		truth, observed []int
+		ins, del, sub   int
+	}{
+		{"identical", []int{1, 2, 3}, []int{1, 2, 3}, 0, 0, 0},
+		{"spurious observation", []int{1, 2, 3}, []int{1, 9, 2, 3}, 1, 0, 0},
+		{"missed symbol", []int{1, 2, 3}, []int{1, 3}, 0, 1, 0},
+		{"misclassified", []int{1, 2, 3}, []int{1, 7, 3}, 0, 0, 1},
+		{"all spurious", nil, []int{4, 4}, 2, 0, 0},
+		{"all missed", []int{4, 4}, nil, 0, 2, 0},
+		// Several minimal alignments exist here; the deterministic
+		// backtrace prefers substitutions (1->9, 2->1, 3 match, 4->5).
+		{"mixed", []int{1, 2, 3, 4}, []int{9, 1, 3, 5}, 0, 0, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ins, del, sub := Decompose(c.truth, c.observed)
+			if ins != c.ins || del != c.del || sub != c.sub {
+				t.Errorf("Decompose(%v, %v) = (%d,%d,%d) want (%d,%d,%d)",
+					c.truth, c.observed, ins, del, sub, c.ins, c.del, c.sub)
+			}
+		})
+	}
+}
+
+// TestDecomposeSumsToLevenshtein: the operation counts must decompose the
+// distance exactly, for arbitrary pairs.
+func TestDecomposeSumsToLevenshtein(t *testing.T) {
+	pairs := [][2][]int{
+		{{1, 2, 3, 4, 5}, {5, 4, 3, 2, 1}},
+		{{2, 2, 2}, {2, 3, 2, 3}},
+		{{7}, {1, 2, 3, 4, 5, 6}},
+		{{1, 2, 1, 2, 1, 2}, {2, 1, 2, 1, 2, 1}},
+	}
+	for _, p := range pairs {
+		q := EvaluateCyclic(p[1], p[0])
+		if got := q.Insertions + q.Deletions + q.Substitutions; got != q.Levenshtein {
+			t.Errorf("ops %d+%d+%d = %d != Levenshtein %d for %v vs %v",
+				q.Insertions, q.Deletions, q.Substitutions, got, q.Levenshtein, p[1], p[0])
+		}
+	}
+}
+
+// TestEvaluateCyclicDecomposition: the quality block carries the
+// decomposition of the best-rotation alignment.
+func TestEvaluateCyclicDecomposition(t *testing.T) {
+	truth := []int{1, 2, 3, 4, 5}
+	// Rotated truth with one extra element: distance 1, pure insertion.
+	recovered := []int{3, 4, 9, 5, 1, 2}
+	q := EvaluateCyclic(recovered, truth)
+	if q.Levenshtein != 1 || q.Insertions != 1 || q.Deletions != 0 || q.Substitutions != 0 {
+		t.Errorf("want 1 insertion, got %+v", q)
+	}
+	// Rotated truth missing one element: distance 1, pure deletion.
+	q = EvaluateCyclic([]int{4, 5, 1, 2}, truth)
+	if q.Levenshtein != 1 || q.Deletions != 1 || q.Insertions != 0 {
+		t.Errorf("want 1 deletion, got %+v", q)
+	}
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// This file is the phase-split experiment API. The paper's attack has an
+// expensive offline phase (eviction-set construction over every
+// page-aligned cache set, latency calibration) and a cheap online phase
+// (priming, probing, decoding). The historical Run(seed) interface forced
+// the runner to pay the offline cost for every trial of every experiment
+// and for every sweep cell; the split lets it pay once:
+//
+//	Prepare(ctx) -> *Artifact   offline: build machines, eviction sets,
+//	                            calibrations; snapshot everything
+//	Measure(ctx, *Artifact)     online: clone machines from the
+//	                            snapshots, measure, report
+//
+// An Artifact is pure data — testbed snapshots plus spy state plus
+// eviction sets — so any number of trials can clone independent machines
+// from it concurrently. The warm path stores artifacts in a
+// content-addressed in-memory store keyed by (machine fingerprint, scale,
+// offline seed); the cold path rebuilds them for every trial. Both paths
+// execute identical measurement code on identically restored machines, so
+// warm and cold runs produce byte-identical reports — the correctness bar
+// that forces snapshotting to be honest about RNG and clock positions.
+
+// PrepareCtx carries the inputs of an offline phase. Seed is the
+// offline-relevant seed: the runner derives it so that every trial of an
+// experiment (and every sweep cell sharing an offline machine shape) sees
+// the same value.
+type PrepareCtx struct {
+	Scale Scale
+	Seed  int64
+	// Store, when non-nil, deduplicates offline work across trials and
+	// sweep cells (the warm path). A nil store rebuilds from scratch (the
+	// cold path). Results are identical either way.
+	Store *ArtifactStore
+}
+
+// MeasureCtx carries the inputs of an online phase. Seed is the per-trial
+// online seed; when it differs from the artifact's offline root seed the
+// cloned machines' ambient random streams (timer jitter, background
+// noise, driver reallocation) are re-derived from it, decorrelating
+// trials the way repeated measurements on real hardware decorrelate. When
+// the seeds are equal — the single-shot Run path — the streams continue
+// from their exact post-offline positions, reproducing the historical
+// single-seed behavior bit for bit.
+type MeasureCtx struct {
+	Scale Scale
+	Seed  int64
+}
+
+// PrepareFunc is an experiment's offline phase.
+type PrepareFunc func(ctx PrepareCtx) (*Artifact, error)
+
+// MeasureFunc is an experiment's online phase.
+type MeasureFunc func(ctx MeasureCtx, art *Artifact) (Result, error)
+
+// Artifact is the output of one Prepare call: every prepared machine the
+// online phase will measure on, keyed by an experiment-chosen label, plus
+// the offline root seed they were prepared under.
+type Artifact struct {
+	// Root is the offline seed the artifact was prepared with.
+	Root int64
+	// Rigs maps experiment-chosen labels ("rig", "blocks3", "rep1", ...)
+	// to prepared machines.
+	Rigs map[string]*RigArtifact
+}
+
+// RigArtifact is one prepared machine: the options to rebuild its shell,
+// a snapshot of its post-offline state, the spy's calibration, and the
+// discovered eviction sets. It is immutable; clones are cut from it.
+type RigArtifact struct {
+	Opts    testbed.Options
+	Machine *testbed.Snapshot
+	Spy     probe.SpyState
+	Groups  []probe.EvictionSet
+}
+
+// NewArtifact starts an empty artifact rooted at the context's seed.
+func (ctx PrepareCtx) NewArtifact() *Artifact {
+	return &Artifact{Root: ctx.Seed, Rigs: make(map[string]*RigArtifact)}
+}
+
+// AddRig prepares (or fetches from the store) the machine described by
+// opts and files it in the artifact under label. The store key combines
+// the machine's offline fingerprint, the scale, the artifact root, and
+// the machine seed, so only genuinely interchangeable machines collide.
+func (ctx PrepareCtx) AddRig(a *Artifact, label string, opts testbed.Options) error {
+	build := func() (*RigArtifact, error) { return buildRigArtifact(opts) }
+	var ra *RigArtifact
+	var err error
+	if ctx.Store != nil {
+		key := fmt.Sprintf("%s|scale=%s|root=%d|seed=%d",
+			opts.OfflineFingerprint(), ctx.Scale, ctx.Seed, opts.Seed)
+		ra, err = ctx.Store.rig(key, build)
+	} else {
+		ra, err = build()
+	}
+	if err != nil {
+		return fmt.Errorf("prepare %s: %w", label, err)
+	}
+	if ra == nil {
+		// Defensive: a (nil, nil) build result would otherwise surface as
+		// a nil dereference far away in Measure.
+		return fmt.Errorf("prepare %s: offline build returned no artifact", label)
+	}
+	a.Rigs[label] = ra
+	return nil
+}
+
+// buildRigArtifact runs the offline phase for one machine: construct the
+// testbed, map and calibrate the spy, build the aligned eviction sets,
+// and snapshot the result. Panics are converted to errors HERE, below
+// both the store and the direct path, for two reasons: a panic escaping
+// into the store's sync.Once would poison the entry with (nil, nil) for
+// every later trial, and converting at the same layer in both paths
+// keeps warm and cold error bytes identical.
+func buildRigArtifact(opts testbed.Options) (ra *RigArtifact, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ra, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	rig, err := newAttackRigOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := rig.tb.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &RigArtifact{
+		Opts:    opts,
+		Machine: snap,
+		Spy:     rig.spy.State(),
+		Groups:  rig.groups,
+	}, nil
+}
+
+// rig clones an independent machine from the labeled rig artifact:
+// a fresh testbed shell restored to the snapshot, the spy rebound, and
+// the eviction sets deep-copied. Safe to call concurrently for the same
+// label. See MeasureCtx for the online-reseed rule.
+func (a *Artifact) rig(label string, ctx MeasureCtx) (*attackRig, error) {
+	ra, ok := a.Rigs[label]
+	if !ok {
+		return nil, fmt.Errorf("measure: artifact has no rig %q", label)
+	}
+	tb, err := testbed.NewFromSnapshot(ra.Opts, ra.Machine)
+	if err != nil {
+		return nil, err
+	}
+	spy := probe.RestoreSpy(tb, ra.Spy)
+	groups := make([]probe.EvictionSet, len(ra.Groups))
+	for i, g := range ra.Groups {
+		groups[i] = probe.EvictionSet{
+			ID:      g.ID,
+			Lines:   append([]uint64(nil), g.Lines...),
+			Members: append([]uint64(nil), g.Members...),
+		}
+	}
+	if ctx.Seed != a.Root {
+		tb.ReseedOnline(sim.DeriveSeed(ctx.Seed, "online/"+label))
+	}
+	return &attackRig{tb: tb, spy: spy, groups: groups, ccfg: tb.Cache().Config()}, nil
+}
+
+// ArtifactStore is the content-addressed in-memory cache of prepared
+// machines a warm runner shares across trials and sweep cells. Concurrent
+// requests for the same key build once; the losers block until the build
+// finishes. Entries live for the store's lifetime (one runner invocation).
+type ArtifactStore struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+	builds  int
+}
+
+type storeEntry struct {
+	once sync.Once
+	rig  *RigArtifact
+	err  error
+}
+
+// NewArtifactStore returns an empty store.
+func NewArtifactStore() *ArtifactStore {
+	return &ArtifactStore{entries: make(map[string]*storeEntry)}
+}
+
+// rig returns the artifact for key, building it at most once.
+func (s *ArtifactStore) rig(key string, build func() (*RigArtifact, error)) (*RigArtifact, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &storeEntry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.rig, e.err = build()
+		if e.err == nil {
+			s.mu.Lock()
+			s.builds++
+			s.mu.Unlock()
+		}
+	})
+	return e.rig, e.err
+}
+
+// Builds reports how many offline builds the store has performed — the
+// observable half of the reuse contract (N trials, 1 build).
+func (s *ArtifactStore) Builds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.builds
+}
+
+// phasedRun composes a Prepare/Measure pair back into the single-shot
+// Run signature with one seed for both phases. Per the MeasureCtx rule
+// this path never reseeds online streams, so a phase-split experiment's
+// Run is byte-identical to its historical monolithic implementation —
+// the property the golden files pin.
+func phasedRun(p PrepareFunc, m MeasureFunc) func(Scale, int64) (Result, error) {
+	return func(scale Scale, seed int64) (Result, error) {
+		art, err := p(PrepareCtx{Scale: scale, Seed: seed})
+		if err != nil {
+			return Result{}, err
+		}
+		return m(MeasureCtx{Scale: scale, Seed: seed}, art)
+	}
+}

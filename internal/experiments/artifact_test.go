@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestArtifactStoreDedup: repeated Prepare calls against one store must
+// perform the offline build exactly once per distinct machine, and hand
+// every caller the same artifact.
+func TestArtifactStoreDedup(t *testing.T) {
+	store := NewArtifactStore()
+	ctx := PrepareCtx{Scale: Demo, Seed: 5, Store: store}
+
+	a1, err := PrepareFig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Builds() != 1 {
+		t.Fatalf("builds = %d after first prepare, want 1", store.Builds())
+	}
+	a2, err := PrepareFig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Builds() != 1 {
+		t.Fatalf("builds = %d after second prepare, want 1 (store must dedup)", store.Builds())
+	}
+	if a1.Rigs["rig"] != a2.Rigs["rig"] {
+		t.Error("warm prepares must share the cached rig artifact")
+	}
+}
+
+// TestArtifactStoreKeysSeparateMachines: a different offline seed, and a
+// different machine shape under the same seed, must both miss the cache.
+func TestArtifactStoreKeysSeparateMachines(t *testing.T) {
+	store := NewArtifactStore()
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 5, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 6, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Builds() != 2 {
+		t.Fatalf("builds = %d across two seeds, want 2", store.Builds())
+	}
+	// Fingerprint prepares two machines (DDIO on/off) under one seed: the
+	// shape difference must key them apart.
+	art, err := PrepareFingerprint(PrepareCtx{Scale: Demo, Seed: 5, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Rigs["ddio"] == art.Rigs["noddio"] {
+		t.Error("DDIO-on and DDIO-off machines must be distinct artifacts")
+	}
+}
+
+// TestArtifactStoreConcurrentSingleflight: concurrent prepares of the
+// same machine must block on one build rather than racing several.
+func TestArtifactStoreConcurrentSingleflight(t *testing.T) {
+	store := NewArtifactStore()
+	var wg sync.WaitGroup
+	arts := make([]*Artifact, 8)
+	errs := make([]error, 8)
+	for i := range arts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arts[i], errs[i] = PrepareFig10(PrepareCtx{Scale: Demo, Seed: 9, Store: store})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("prepare %d: %v", i, err)
+		}
+	}
+	if store.Builds() != 1 {
+		t.Fatalf("builds = %d under concurrency, want 1", store.Builds())
+	}
+	for i := 1; i < len(arts); i++ {
+		if arts[i].Rigs["rig"] != arts[0].Rigs["rig"] {
+			t.Fatal("concurrent prepares must converge on one artifact")
+		}
+	}
+}
+
+// TestArtifactStorePanicDoesNotPoison: an offline build that panics must
+// surface as an error on every warm trial — not report the panic once
+// and then hand later trials a nil artifact from the poisoned cache
+// entry.
+func TestArtifactStorePanicDoesNotPoison(t *testing.T) {
+	store := NewArtifactStore()
+	// MemBytes below one page makes mem.NewAllocator panic inside the
+	// offline build.
+	bad := machineOptions(Demo, 1)
+	bad.MemBytes = 512
+	ctx := PrepareCtx{Scale: Demo, Seed: 1, Store: store}
+	for trial := 0; trial < 3; trial++ {
+		art := ctx.NewArtifact()
+		err := ctx.AddRig(art, "rig", bad)
+		if err == nil {
+			t.Fatalf("trial %d: broken build must error", trial)
+		}
+		if len(art.Rigs) != 0 {
+			t.Fatalf("trial %d: failed build filed a rig: %+v", trial, art.Rigs)
+		}
+	}
+	if store.Builds() != 0 {
+		t.Fatalf("failed builds counted as successes: %d", store.Builds())
+	}
+	// And cold (store-less) prepares report the same error bytes, which
+	// is what keeps failing warm and cold runs byte-identical too.
+	warmErr := PrepareCtx{Scale: Demo, Seed: 1, Store: store}
+	coldErr := PrepareCtx{Scale: Demo, Seed: 1}
+	e1 := warmErr.AddRig(warmErr.NewArtifact(), "rig", bad)
+	e2 := coldErr.AddRig(coldErr.NewArtifact(), "rig", bad)
+	if e1 == nil || e2 == nil || e1.Error() != e2.Error() {
+		t.Fatalf("warm/cold error bytes differ: %v vs %v", e1, e2)
+	}
+}
+
+// TestPrepareSweepRigsValidatesFullCellSpec: a malformed cell must fail
+// fast on the cell's full measurement spec — Offline() normalization
+// would otherwise silently mask a bad environment value (negative noise
+// becomes the reference rate) and the cell would measure under the
+// wrong conditions.
+func TestPrepareSweepRigsValidatesFullCellSpec(t *testing.T) {
+	cell := scenario.NewCell([]string{scenario.AxisNoiseRate}, []float64{-1})
+	if _, err := prepareSweepRigs(PrepareCtx{Scale: Demo, Seed: 1}, cell); err == nil {
+		t.Fatal("negative noise_rate cell must fail validation")
+	}
+}
+
+// TestMeasureClonesAreIndependent: two clones cut from one artifact must
+// not share mutable machine state — measuring on one must not perturb the
+// other (this is what makes concurrent warm trials safe).
+func TestMeasureClonesAreIndependent(t *testing.T) {
+	ctx := PrepareCtx{Scale: Demo, Seed: 3}
+	art, err := PrepareFig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MeasureCtx{Scale: Demo, Seed: 3}
+	a, err := art.rig("rig", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := art.rig("rig", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.tb == b.tb || a.spy == b.spy {
+		t.Fatal("clones share a machine")
+	}
+	startB := b.tb.Clock().Now()
+	// Disturb clone A heavily.
+	for i := 0; i < 1000; i++ {
+		a.spy.Touch(a.spy.PageBase(0) + uint64(i%64)*64)
+	}
+	a.tb.Idle(1_000_000)
+	if b.tb.Clock().Now() != startB {
+		t.Error("driving one clone advanced the other's clock")
+	}
+	// Both clones restored from one snapshot: identical starting stats.
+	if a.tb.NIC().Stats() != b.tb.NIC().Stats() {
+		t.Error("clone NIC stats diverged without B being driven")
+	}
+}

@@ -107,31 +107,48 @@ func (r Result) Format() string {
 	return b.String()
 }
 
-// Experiment is a runnable evaluation item.
+// Experiment is a runnable evaluation item. Run is always usable and
+// executes both phases under one seed. Experiments with an expensive
+// offline phase additionally expose it as a Prepare/Measure pair (see
+// artifact.go); the runner exploits the split to prepare once and measure
+// many times.
 type Experiment struct {
 	ID    string
 	Short string
 	Run   func(scale Scale, seed int64) (Result, error)
+	// Prepare and Measure, when both non-nil, are the phase-split form of
+	// Run: Run(scale, seed) is exactly Prepare followed by Measure with
+	// the same seed.
+	Prepare PrepareFunc
+	Measure MeasureFunc
+}
+
+// Phased reports whether the experiment supports the phase-split API.
+func (e Experiment) Phased() bool { return e.Prepare != nil && e.Measure != nil }
+
+// phasedExp registers a phase-split experiment, deriving its Run form.
+func phasedExp(id, short string, p PrepareFunc, m MeasureFunc) Experiment {
+	return Experiment{ID: id, Short: short, Run: phasedRun(p, m), Prepare: p, Measure: m}
 }
 
 // All returns the registry of experiments in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig5", "ring buffers per page-aligned cache set (one driver instance)", Fig5},
-		{"fig6", "mapping distribution over 1000 driver instances", Fig6},
-		{"fig7", "page-aligned set activity: idle vs receiving", Fig7},
-		{"fig8", "packet-size detection matrix (blocks 0-3)", Fig8},
-		{"table1", "ring sequence recovery quality", Table1},
-		{"fig10", "covert channel decoded symbol trace", Fig10},
-		{"fig11", "covert channel bandwidth/error vs probe rate", Fig11},
-		{"fig12ab", "multi-buffer covert channel scaling", Fig12ab},
-		{"fig12cd", "full-chasing channel: out-of-sync and error vs rate", Fig12cd},
-		{"fig13", "hotcrp login fingerprint traces", Fig13},
-		{"fingerprint", "closed-world website fingerprinting accuracy", Fingerprint},
-		{"table2", "baseline processor configuration", Table2},
-		{"fig14", "Nginx throughput: adaptive partitioning vs DDIO", Fig14},
-		{"fig15", "memory traffic and LLC miss rate by scheme", Fig15},
-		{"fig16", "HTTP tail latency by defense scheme", Fig16},
+		{ID: "fig5", Short: "ring buffers per page-aligned cache set (one driver instance)", Run: Fig5},
+		{ID: "fig6", Short: "mapping distribution over 1000 driver instances", Run: Fig6},
+		phasedExp("fig7", "page-aligned set activity: idle vs receiving", PrepareFig7, MeasureFig7),
+		phasedExp("fig8", "packet-size detection matrix (blocks 0-3)", PrepareFig8, MeasureFig8),
+		phasedExp("table1", "ring sequence recovery quality", PrepareTable1, MeasureTable1),
+		phasedExp("fig10", "covert channel decoded symbol trace", PrepareFig10, MeasureFig10),
+		phasedExp("fig11", "covert channel bandwidth/error vs probe rate", PrepareFig11, MeasureFig11),
+		phasedExp("fig12ab", "multi-buffer covert channel scaling", PrepareFig12ab, MeasureFig12ab),
+		phasedExp("fig12cd", "full-chasing channel: out-of-sync and error vs rate", PrepareFig12cd, MeasureFig12cd),
+		phasedExp("fig13", "hotcrp login fingerprint traces", PrepareFig13, MeasureFig13),
+		phasedExp("fingerprint", "closed-world website fingerprinting accuracy", PrepareFingerprint, MeasureFingerprint),
+		{ID: "table2", Short: "baseline processor configuration", Run: Table2},
+		{ID: "fig14", Short: "Nginx throughput: adaptive partitioning vs DDIO", Run: Fig14},
+		{ID: "fig15", Short: "memory traffic and LLC miss rate by scheme", Run: Fig15},
+		{ID: "fig16", Short: "HTTP tail latency by defense scheme", Run: Fig16},
 	}
 }
 

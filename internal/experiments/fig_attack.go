@@ -109,10 +109,21 @@ func Fig6(scale Scale, seed int64) (Result, error) {
 	return res, nil
 }
 
-// Fig7 measures page-aligned set activity with the machine idle versus
-// receiving a broadcast stream — the footprint-discovery experiment.
-func Fig7(scale Scale, seed int64) (Result, error) {
-	rig, err := newAttackRig(scale, seed)
+// PrepareFig7 builds the footprint-discovery machine: one baseline rig
+// with its eviction sets.
+func PrepareFig7(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	if err := ctx.AddRig(art, "rig", machineOptions(ctx.Scale, ctx.Seed)); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// MeasureFig7 measures page-aligned set activity with the machine idle
+// versus receiving a broadcast stream — the footprint-discovery
+// experiment (paper Fig 7).
+func MeasureFig7(ctx MeasureCtx, art *Artifact) (Result, error) {
+	rig, err := art.rig("rig", ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -157,17 +168,30 @@ func Fig7(scale Scale, seed int64) (Result, error) {
 	return res, nil
 }
 
-// Fig8 sends constant-size streams of 1..4 blocks and measures activity on
-// the block-0..3 eviction sets: activity on the diagonal and above, plus
-// the block-1 prefetch artifact for 1-block packets.
-func Fig8(scale Scale, seed int64) (Result, error) {
+// PrepareFig8 builds one machine per streamed packet size (each stream
+// runs on a fresh driver instance, like the paper's per-size runs).
+func PrepareFig8(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	for blocks := 1; blocks <= 4; blocks++ {
+		opts := machineOptions(ctx.Scale, ctx.Seed+int64(blocks))
+		if err := ctx.AddRig(art, fmt.Sprintf("blocks%d", blocks), opts); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// MeasureFig8 sends constant-size streams of 1..4 blocks and measures
+// activity on the block-0..3 eviction sets: activity on the diagonal and
+// above, plus the block-1 prefetch artifact for 1-block packets.
+func MeasureFig8(ctx MeasureCtx, art *Artifact) (Result, error) {
 	res := Result{
 		ID:     "fig8",
 		Title:  "mean activity on block-k sets vs packet size (rows: stream size)",
 		Header: []string{"stream", "block0", "block1", "block2", "block3"},
 	}
 	for blocks := 1; blocks <= 4; blocks++ {
-		rig, err := newAttackRig(scale, seed+int64(blocks))
+		rig, err := art.rig(fmt.Sprintf("blocks%d", blocks), ctx)
 		if err != nil {
 			return Result{}, err
 		}
@@ -188,10 +212,26 @@ func Fig8(scale Scale, seed int64) (Result, error) {
 	return res, nil
 }
 
-// Table1 runs the full ring-sequence recovery and scores it against the
-// instrumented-driver ground truth, the paper's Table I.
-func Table1(scale Scale, seed int64) (Result, error) {
-	const runs = 3
+// table1Runs is the number of independent recovery runs Table 1 averages.
+const table1Runs = 3
+
+// PrepareTable1 builds one machine per recovery run.
+func PrepareTable1(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	for run := 0; run < table1Runs; run++ {
+		opts := machineOptions(ctx.Scale, ctx.Seed+int64(run)*31)
+		if err := ctx.AddRig(art, fmt.Sprintf("run%d", run), opts); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// MeasureTable1 runs the full ring-sequence recovery and scores it
+// against the instrumented-driver ground truth, the paper's Table I.
+func MeasureTable1(ctx MeasureCtx, art *Artifact) (Result, error) {
+	const runs = table1Runs
+	scale := ctx.Scale
 	var dists, errs, longest, minutes []float64
 	params := chase.DefaultSequencerParams()
 	if scale == Demo {
@@ -205,7 +245,7 @@ func Table1(scale Scale, seed int64) (Result, error) {
 		packetRate = 11_000
 	}
 	for run := 0; run < runs; run++ {
-		rig, err := newAttackRig(scale, seed+int64(run)*31)
+		rig, err := art.rig(fmt.Sprintf("run%d", run), ctx)
 		if err != nil {
 			return Result{}, err
 		}

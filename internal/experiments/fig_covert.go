@@ -9,23 +9,33 @@ import (
 	"repro/internal/stats"
 )
 
-// covertRig prepares the covert-channel prerequisites: machine, groups,
-// and the ring sequence. The sequence comes from the ground-truth oracle
-// here — Table1 measures sequence-recovery quality separately, and the
-// channel experiments measure channel quality given a recovered sequence,
-// the same separation the paper uses.
-func covertRig(scale Scale, seed int64) (*attackRig, []int, error) {
-	rig, err := newAttackRig(scale, seed)
+// covertClone cuts a fresh machine clone from the artifact and derives
+// the covert-channel prerequisites: groups plus the ring sequence. The
+// sequence comes from the ground-truth oracle here — Table1 measures
+// sequence-recovery quality separately, and the channel experiments
+// measure channel quality given a recovered sequence, the same separation
+// the paper uses.
+func covertClone(art *Artifact, label string, ctx MeasureCtx) (*attackRig, []int, error) {
+	rig, err := art.rig(label, ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rig, rig.groundTruthRing(), nil
 }
 
-// Fig10 transmits the paper's example sequence "2012012..." and shows the
-// decoded symbols.
-func Fig10(scale Scale, seed int64) (Result, error) {
-	rig, ring, err := covertRig(scale, seed)
+// PrepareFig10 builds the single-buffer channel's machine.
+func PrepareFig10(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	if err := ctx.AddRig(art, "rig", machineOptions(ctx.Scale, ctx.Seed)); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// MeasureFig10 transmits the paper's example sequence "2012012..." and
+// shows the decoded symbols.
+func MeasureFig10(ctx MeasureCtx, art *Artifact) (Result, error) {
+	rig, ring, err := covertClone(art, "rig", ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -66,21 +76,38 @@ func Fig10(scale Scale, seed int64) (Result, error) {
 	return res, nil
 }
 
-// Fig11 measures single-buffer channel bandwidth and error for binary and
-// ternary encodings across probe rates of 7, 14, and 28 kHz.
-func Fig11(scale Scale, seed int64) (Result, error) {
+// fig11Rates are the probe rates Fig 11 spans.
+var fig11Rates = []float64{7_000, 14_000, 28_000}
+
+// PrepareFig11 builds one machine per probe rate; both encodings measure
+// on clones of the same per-rate machine (they always ran on machines
+// with identical seeds).
+func PrepareFig11(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	for _, rate := range fig11Rates {
+		opts := machineOptions(ctx.Scale, ctx.Seed+int64(rate))
+		if err := ctx.AddRig(art, fmt.Sprintf("rate%.0f", rate), opts); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// MeasureFig11 measures single-buffer channel bandwidth and error for
+// binary and ternary encodings across probe rates of 7, 14, and 28 kHz.
+func MeasureFig11(ctx MeasureCtx, art *Artifact) (Result, error) {
 	res := Result{
 		ID:     "fig11",
 		Title:  "remote covert channel: bandwidth and error vs probe rate",
 		Header: []string{"encoding", "probe-rate", "bandwidth (bps)", "error"},
 	}
 	nSymbols := 150
-	if scale == Paper {
+	if ctx.Scale == Paper {
 		nSymbols = 400
 	}
 	for _, enc := range []covert.Encoding{covert.Binary, covert.Ternary} {
-		for _, rate := range []float64{7_000, 14_000, 28_000} {
-			rig, ring, err := covertRig(scale, seed+int64(rate))
+		for _, rate := range fig11Rates {
+			rig, ring, err := covertClone(art, fmt.Sprintf("rate%.0f", rate), ctx)
 			if err != nil {
 				return Result{}, err
 			}
@@ -88,7 +115,7 @@ func Fig11(scale Scale, seed int64) (Result, error) {
 			if !ok {
 				return Result{}, fmt.Errorf("fig11: no isolated buffer")
 			}
-			lf := stats.NewLFSR15(uint16(seed + 1))
+			lf := stats.NewLFSR15(uint16(ctx.Seed + 1))
 			symbols := lf.Symbols(nSymbols, enc.Base())
 			r, err := covert.RunSingleBuffer(rig.spy, rig.groups[gid], symbols, enc, len(ring), rate)
 			if err != nil {
@@ -109,17 +136,32 @@ func Fig11(scale Scale, seed int64) (Result, error) {
 	return res, nil
 }
 
-// Fig12ab sweeps the number of monitored buffers (1..16): bandwidth about
-// doubles with each doubling, error jumps at 16.
-func Fig12ab(scale Scale, seed int64) (Result, error) {
+// fig12abBuffers are the monitored-buffer counts Fig 12a,b spans.
+var fig12abBuffers = []int{1, 2, 4, 8, 16}
+
+// PrepareFig12ab builds one machine per monitored-buffer count.
+func PrepareFig12ab(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	for _, n := range fig12abBuffers {
+		opts := machineOptions(ctx.Scale, ctx.Seed+int64(n)*13)
+		if err := ctx.AddRig(art, fmt.Sprintf("buffers%d", n), opts); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// MeasureFig12ab sweeps the number of monitored buffers (1..16):
+// bandwidth about doubles with each doubling, error jumps at 16.
+func MeasureFig12ab(ctx MeasureCtx, art *Artifact) (Result, error) {
 	res := Result{
 		ID:     "fig12ab",
 		Title:  "multi-buffer channel: bandwidth and error vs monitored buffers",
 		Header: []string{"buffers", "bandwidth (kbps)", "error"},
 	}
 	nSymbols := 120
-	for _, n := range []int{1, 2, 4, 8, 16} {
-		rig, ring, err := covertRig(scale, seed+int64(n)*13)
+	for _, n := range fig12abBuffers {
+		rig, ring, err := covertClone(art, fmt.Sprintf("buffers%d", n), ctx)
 		if err != nil {
 			return Result{}, err
 		}
@@ -139,24 +181,40 @@ func Fig12ab(scale Scale, seed int64) (Result, error) {
 	return res, nil
 }
 
-// Fig12cd runs the full-chasing channel across sender bandwidths: out-of-
-// sync rate stays roughly flat, error jumps once reordering sets in.
-func Fig12cd(scale Scale, seed int64) (Result, error) {
+// fig12cdRates are the sender bandwidths (kbps) Fig 12c,d spans.
+var fig12cdRates = []float64{80, 160, 320, 640}
+
+// PrepareFig12cd builds one machine per sender bandwidth.
+func PrepareFig12cd(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	for _, kbps := range fig12cdRates {
+		opts := machineOptions(ctx.Scale, ctx.Seed+int64(kbps))
+		if err := ctx.AddRig(art, fmt.Sprintf("rate%.0f", kbps), opts); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// MeasureFig12cd runs the full-chasing channel across sender bandwidths:
+// out-of-sync rate stays roughly flat, error jumps once reordering sets
+// in.
+func MeasureFig12cd(ctx MeasureCtx, art *Artifact) (Result, error) {
 	res := Result{
 		ID:     "fig12cd",
 		Title:  "full-chasing channel: out-of-sync and error vs channel bandwidth",
 		Header: []string{"bandwidth (kbps)", "packet rate (pps)", "received", "out-of-sync", "error"},
 	}
 	nSymbols := 200
-	for _, kbps := range []float64{80, 160, 320, 640} {
-		rig, ring, err := covertRig(scale, seed+int64(kbps))
+	for _, kbps := range fig12cdRates {
+		rig, ring, err := covertClone(art, fmt.Sprintf("rate%.0f", kbps), ctx)
 		if err != nil {
 			return Result{}, err
 		}
 		packetRate := kbps * 1000 / covert.Ternary.BitsPerSymbol()
 		symbols := stats.NewLFSR15(uint16(3+kbps)).Symbols(nSymbols, 3)
 		ch := covert.NewChasingChannel(rig.spy, rig.groups, ring)
-		r := ch.Run(symbols, covert.Ternary, packetRate, sim.Derive(seed, "reorder"))
+		r := ch.Run(symbols, covert.Ternary, packetRate, sim.Derive(ctx.Seed, "reorder"))
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%.0f", kbps), fmt.Sprintf("%.0f", packetRate),
 			fmt.Sprintf("%d/%d", len(r.Received), len(r.Sent)),

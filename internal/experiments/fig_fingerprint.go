@@ -9,22 +9,33 @@ import (
 	"repro/internal/webtrace"
 )
 
-// Fig13 captures the hotcrp login fingerprints: the true packet-size
-// classes of a successful and a failed login versus what the chaser
-// recovers for the first 100 packets.
-func Fig13(scale Scale, seed int64) (Result, error) {
+// PrepareFig13 builds the login-fingerprint machine. Both login traces
+// measure on clones of the same machine (they always ran on machines with
+// identical seeds).
+func PrepareFig13(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	if err := ctx.AddRig(art, "rig", machineOptions(ctx.Scale, ctx.Seed)); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// MeasureFig13 captures the hotcrp login fingerprints: the true
+// packet-size classes of a successful and a failed login versus what the
+// chaser recovers for the first 100 packets.
+func MeasureFig13(ctx MeasureCtx, art *Artifact) (Result, error) {
 	res := Result{
 		ID:     "fig13",
 		Title:  "hotcrp login traces: true vs recovered size classes (first 100 packets)",
 		Header: []string{"trace", "classes (1..4, 4 = 4+)"},
 	}
 	for _, site := range []webtrace.Site{webtrace.HotCRPLoginSuccess(), webtrace.HotCRPLoginFailure()} {
-		rig, ring, err := covertRig(scale, seed)
+		rig, ring, err := covertClone(art, "rig", ctx)
 		if err != nil {
 			return Result{}, err
 		}
 		atk := &fingerprint.Attack{Spy: rig.spy, Groups: rig.groups, Ring: ring, TraceLen: 100}
-		tr := site.Generate(sim.Derive(seed, site.Name), webtrace.DefaultNoise())
+		tr := site.Generate(sim.Derive(ctx.Seed, site.Name), webtrace.DefaultNoise())
 		classes, _ := atk.Observe(tr)
 		truth := tr.SizeClasses(4)
 		if len(truth) > 100 {
@@ -40,10 +51,34 @@ func Fig13(scale Scale, seed int64) (Result, error) {
 	return res, nil
 }
 
-// Fingerprint runs the §V closed-world evaluation with DDIO on and off.
-func Fingerprint(scale Scale, seed int64) (Result, error) {
+// fingerprintLabel names the per-configuration rig.
+func fingerprintLabel(ddio bool) string {
+	if ddio {
+		return "ddio"
+	}
+	return "noddio"
+}
+
+// PrepareFingerprint builds the closed-world machines: one with DDIO on,
+// one with it off — the offline machine shape differs, so the artifact
+// store keys them separately.
+func PrepareFingerprint(ctx PrepareCtx) (*Artifact, error) {
+	art := ctx.NewArtifact()
+	for _, ddio := range []bool{true, false} {
+		opts := machineOptions(ctx.Scale, ctx.Seed)
+		opts.Cache.DDIO = ddio
+		if err := ctx.AddRig(art, fingerprintLabel(ddio), opts); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// MeasureFingerprint runs the §V closed-world evaluation with DDIO on and
+// off.
+func MeasureFingerprint(ctx MeasureCtx, art *Artifact) (Result, error) {
 	trials := 40
-	if scale == Paper {
+	if ctx.Scale == Paper {
 		trials = 1000
 	}
 	res := Result{
@@ -52,16 +87,14 @@ func Fingerprint(scale Scale, seed int64) (Result, error) {
 		Header: []string{"configuration", "accuracy", "paper"},
 	}
 	for _, ddio := range []bool{true, false} {
-		opts := machineOptions(scale, seed)
-		opts.Cache.DDIO = ddio
-		rig, err := newAttackRigOpts(opts)
+		rig, err := art.rig(fingerprintLabel(ddio), ctx)
 		if err != nil {
 			return Result{}, err
 		}
 		atk := &fingerprint.Attack{
 			Spy: rig.spy, Groups: rig.groups, Ring: rig.groundTruthRing(), TraceLen: 100,
 		}
-		ev := fingerprint.EvaluateClosedWorld(atk, webtrace.ClosedWorld(), webtrace.DefaultNoise(), trials, sim.Derive(seed, fmt.Sprint("fp", ddio)))
+		ev := fingerprint.EvaluateClosedWorld(atk, webtrace.ClosedWorld(), webtrace.DefaultNoise(), trials, sim.Derive(ctx.Seed, fmt.Sprint("fp", ddio)))
 		name, paper := "with DDIO", "89.7%"
 		if !ddio {
 			name, paper = "without DDIO", "86.5%"

@@ -17,56 +17,89 @@ import (
 // — how attack quality degrades as the environment worsens. The runner
 // fans cells out over its worker pool (runner.RunSweep) with decorrelated
 // per-cell seeds and aggregates per-cell metrics across trials.
+//
+// Sweeps are phase-split like experiments (see artifact.go): Prepare
+// builds the cell's offline machines under the reference environment
+// (scenario.Spec.Offline), Measure applies the cell's swept conditions to
+// clones and measures. Because the offline phase depends only on machine
+// geometry, every cell whose swept axes are online-only (noise rate,
+// timer jitter, traffic) shares one prepared artifact across the whole
+// grid — and across all trials — in a warm run.
 type Sweep struct {
 	ID    string
 	Short string
 	Grid  scenario.Grid
 	Run   func(scale Scale, seed int64, cell scenario.Cell) (Result, error)
+	// Prepare and Measure, when both non-nil, are the phase-split form:
+	// Run(scale, seed, cell) is exactly Prepare followed by Measure with
+	// the same seed.
+	Prepare func(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error)
+	Measure func(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error)
+}
+
+// Phased reports whether the sweep supports the phase-split API.
+func (s Sweep) Phased() bool { return s.Prepare != nil && s.Measure != nil }
+
+// phasedSweep registers a phase-split sweep, deriving its Run form.
+func phasedSweep(id, short string, grid scenario.Grid,
+	p func(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error),
+	m func(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error)) Sweep {
+	return Sweep{
+		ID: id, Short: short, Grid: grid,
+		Run: func(scale Scale, seed int64, cell scenario.Cell) (Result, error) {
+			art, err := p(PrepareCtx{Scale: scale, Seed: seed}, cell)
+			if err != nil {
+				return Result{}, err
+			}
+			return m(MeasureCtx{Scale: scale, Seed: seed}, art, cell)
+		},
+		Prepare: p, Measure: m,
+	}
 }
 
 // Sweeps returns the sensitivity-study registry.
 func Sweeps() []Sweep {
 	return []Sweep{
-		{
-			ID:    "sens_chase_noise",
-			Short: "chase accuracy vs background cache noise",
+		phasedSweep(
+			"sens_chase_noise",
+			"chase accuracy vs background cache noise",
 			// The top value sits where classification has collapsed but the
 			// two-class accuracy floor (~0.5) is not yet dominant: past
 			// ~10M accesses/s the curve saturates and stops being a
 			// sensitivity measurement.
-			Grid: scenario.Grid{
+			scenario.Grid{
 				{Name: scenario.AxisNoiseRate, Values: []float64{20_000, 500_000, 2_000_000, 8_000_000}},
 			},
-			Run: SensChaseNoise,
-		},
-		{
-			ID:    "sens_chase_traffic",
-			Short: "chase accuracy vs competing background traffic",
-			Grid: scenario.Grid{
+			prepareSweepRigs, MeasureSensChaseNoise,
+		),
+		phasedSweep(
+			"sens_chase_traffic",
+			"chase accuracy vs competing background traffic",
+			scenario.Grid{
 				{Name: "bg_rate", Values: []float64{0, 5_000, 20_000, 50_000}},
 			},
-			Run: SensChaseTraffic,
-		},
-		{
-			ID:    "sens_covert_timer",
-			Short: "covert-channel symbol error vs timer granularity",
-			// Beyond ~100 cycles of jitter the offline phase itself fails
-			// (the conflict test can no longer see the ~160-cycle hit/miss
-			// edge), so the axis stops at the largest granularity with a
-			// channel left to measure.
-			Grid: scenario.Grid{
-				{Name: scenario.AxisTimerNoise, Values: []float64{0, 4, 16, 32, 64}},
+			prepareSweepRigs, MeasureSensChaseTraffic,
+		),
+		phasedSweep(
+			"sens_covert_timer",
+			"covert-channel symbol error vs timer granularity",
+			// The offline phase (eviction sets, calibration) runs under the
+			// reference timer, so the axis can extend past the ~100-cycle
+			// point where a coarse timer used to break eviction-set
+			// construction itself: only the online decode faces the jitter.
+			scenario.Grid{
+				{Name: scenario.AxisTimerNoise, Values: []float64{0, 4, 16, 32, 64, 128}},
 			},
-			Run: SensCovertTimer,
-		},
-		{
-			ID:    "sens_ring_detect",
-			Short: "footprint detection quality vs rx ring size",
-			Grid: scenario.Grid{
+			prepareSweepRigs, MeasureSensCovertTimer,
+		),
+		phasedSweep(
+			"sens_ring_detect",
+			"footprint detection quality vs rx ring size",
+			scenario.Grid{
 				{Name: scenario.AxisRingSize, Values: []float64{16, 32, 64, 128}},
 			},
-			Run: SensRingDetect,
-		},
+			prepareSweepRigs, MeasureSensRingDetect,
+		),
 	}
 }
 
@@ -80,20 +113,75 @@ func SweepByID(id string) (Sweep, bool) {
 	return Sweep{}, false
 }
 
-// newSweepRig builds an attack rig for an arbitrary scenario spec (the
-// sweep counterpart of newAttackRig, which runs the baseline spec).
-func newSweepRig(spec scenario.Spec, seed int64) (*attackRig, error) {
-	if err := spec.Validate(); err != nil {
+// sensReps is the number of independent machines averaged per sweep cell.
+// Sensitivity curves compare adjacent cells, so per-cell variance must sit
+// well below the axis effect; averaging a few decorrelated repetitions
+// keeps demo-scale curves stable without paper-scale run times.
+const sensReps = 3
+
+// repLabel names the per-repetition rig inside a sweep artifact.
+func repLabel(r int) string { return fmt.Sprintf("rep%d", r) }
+
+// cellSpec is the scenario a cell measures under: the baseline with the
+// cell's well-known axes applied.
+func cellSpec(scale Scale, cell scenario.Cell) scenario.Spec {
+	return baselineSpec(scale).WithCell(cell)
+}
+
+// prepareSweepRigs is the shared offline phase of every sensitivity
+// sweep: sensReps machines of the cell's geometry, built under the
+// reference environment (scenario.Spec.Offline). Cells that differ only
+// on online axes produce identical machine shapes and seeds, so a warm
+// runner prepares the whole grid's machines exactly once.
+func prepareSweepRigs(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error) {
+	// Validate the cell's full measurement spec — environment and flows
+	// included — before deriving the offline view, so a malformed cell
+	// (negative noise rate, bad flow palette) fails fast here rather than
+	// silently measuring under a normalized environment.
+	full := cellSpec(ctx.Scale, cell)
+	if err := full.Validate(); err != nil {
 		return nil, err
 	}
-	return newAttackRigOpts(spec.Options(seed))
+	spec := full.Offline()
+	art := ctx.NewArtifact()
+	for r := 0; r < sensReps; r++ {
+		opts := spec.Options(sim.DeriveSeed(ctx.Seed, repLabel(r)))
+		if err := ctx.AddRig(art, repLabel(r), opts); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// sweepClone cuts one repetition's machine from the artifact and applies
+// the cell's online environment (noise rate, timer jitter) to it.
+func sweepClone(art *Artifact, r int, ctx MeasureCtx, spec scenario.Spec) (*attackRig, error) {
+	rig, err := art.rig(repLabel(r), ctx)
+	if err != nil {
+		return nil, err
+	}
+	rig.tb.SetNoiseRate(spec.NoiseRate)
+	rig.tb.SetTimerNoise(spec.TimerNoise)
+	return rig, nil
+}
+
+// chaseOutcome scores one chase run: accuracy, sync losses, and the
+// normalized edit-operation decomposition of the observed stream against
+// the sent stream (per sent symbol).
+type chaseOutcome struct {
+	acc           float64
+	outOfSync     float64
+	ins, del, sub float64
 }
 
 // chaseAccuracy runs one chase of a known alternating-size stream against
 // the ground-truth ring and scores the observed size-class sequence: the
 // paper's online-phase quality measure, 1 - Levenshtein/len(sent). The
-// optional background source is mixed into the victim stream.
-func chaseAccuracy(rig *attackRig, bg netmodel.Source, frames int) (acc float64, outOfSync uint64) {
+// optional background source is mixed into the victim stream. The edit
+// decomposition attributes the error mass: insertions are background
+// packets (or pollution) read as victim symbols, deletions are victim
+// packets the chase missed.
+func chaseAccuracy(rig *attackRig, bg netmodel.Source, frames int) chaseOutcome {
 	ring := rig.groundTruthRing()
 
 	wire := netmodel.NewWire(netmodel.GigabitRate)
@@ -133,31 +221,34 @@ func chaseAccuracy(rig *attackRig, bg netmodel.Source, frames int) (acc float64,
 	if err > 1 {
 		err = 1
 	}
-	return 1 - err, chaser.OutOfSync
+	ins, del, sub := chase.Decompose(sent, seen)
+	n := float64(len(sent))
+	return chaseOutcome{
+		acc:       1 - err,
+		outOfSync: float64(chaser.OutOfSync),
+		ins:       float64(ins) / n,
+		del:       float64(del) / n,
+		sub:       float64(sub) / n,
+	}
 }
 
-// sensReps is the number of independent machines averaged per sweep cell.
-// Sensitivity curves compare adjacent cells, so per-cell variance must sit
-// well below the axis effect; averaging a few decorrelated repetitions
-// keeps demo-scale curves stable without paper-scale run times.
-const sensReps = 3
-
-// SensChaseNoise measures online-chase accuracy as ambient cache noise
-// rises — the curve behind the paper's claim that the chase tolerates a
-// busy server. Accuracy is monotonically non-increasing in the noise rate
-// at demo scale: each decade of background accesses/second converts more
-// polls into false activity until classification collapses.
-func SensChaseNoise(scale Scale, seed int64, cell scenario.Cell) (Result, error) {
-	spec := baselineSpec(scale).WithCell(cell)
+// MeasureSensChaseNoise measures online-chase accuracy as ambient cache
+// noise rises — the curve behind the paper's claim that the chase
+// tolerates a busy server. Accuracy is monotonically non-increasing in
+// the noise rate at demo scale: each decade of background
+// accesses/second converts more polls into false activity until
+// classification collapses.
+func MeasureSensChaseNoise(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error) {
+	spec := cellSpec(ctx.Scale, cell)
 	var accs, syncs []float64
 	for r := 0; r < sensReps; r++ {
-		rig, err := newSweepRig(spec, sim.DeriveSeed(seed, fmt.Sprintf("rep%d", r)))
+		rig, err := sweepClone(art, r, ctx, spec)
 		if err != nil {
 			return Result{}, err
 		}
-		acc, oos := chaseAccuracy(rig, nil, 64)
-		accs = append(accs, acc)
-		syncs = append(syncs, float64(oos))
+		out := chaseAccuracy(rig, nil, 64)
+		accs = append(accs, out.acc)
+		syncs = append(syncs, out.outOfSync)
 	}
 	accSum := stats.Summarize(accs)
 	res := Result{
@@ -174,55 +265,71 @@ func SensChaseNoise(scale Scale, seed int64, cell scenario.Cell) (Result, error)
 	return res, nil
 }
 
-// SensChaseTraffic measures chase accuracy against competing background
-// traffic: Poisson flows of ordinary kernel-bound packets share the rx
-// ring with the victim stream, so the chaser's expected buffer fills with
-// the wrong packets as the background rate grows.
-func SensChaseTraffic(scale Scale, seed int64, cell scenario.Cell) (Result, error) {
-	spec := baselineSpec(scale)
+// MeasureSensChaseTraffic measures chase accuracy against competing
+// background traffic: Poisson flows of ordinary kernel-bound packets
+// share the rx ring with the victim stream, so the chaser's expected
+// buffer fills with the wrong packets as the background rate grows. The
+// insertion/deletion decomposition attributes the degradation: a rising
+// insertion rate means background packets are being read as victim
+// symbols (metric saturation), a rising deletion rate means victim
+// packets are being crowded out of the monitored window.
+func MeasureSensChaseTraffic(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error) {
+	spec := cellSpec(ctx.Scale, cell)
 	rate, _ := cell.Value("bg_rate")
 	if rate > 0 {
 		spec.Flows = []scenario.Flow{
 			{Kind: scenario.FlowPoisson, Sizes: []int{64, 128, 256}, Rate: rate, Count: -1},
 		}
 	}
-	var accs, syncs []float64
+	var accs, syncs, inss, dels, subs []float64
 	for r := 0; r < sensReps; r++ {
-		repSeed := sim.DeriveSeed(seed, fmt.Sprintf("rep%d", r))
-		rig, err := newSweepRig(spec, repSeed)
+		rig, err := sweepClone(art, r, ctx, spec)
 		if err != nil {
 			return Result{}, err
 		}
-		bg := spec.BuildTraffic(repSeed, rig.tb.Clock().Now())
-		acc, oos := chaseAccuracy(rig, bg, 64)
-		accs = append(accs, acc)
-		syncs = append(syncs, float64(oos))
+		var bg netmodel.Source
+		if rate > 0 {
+			repSeed := sim.DeriveSeed(ctx.Seed, repLabel(r))
+			bg = spec.BuildTraffic(repSeed, rig.tb.Clock().Now())
+		}
+		out := chaseAccuracy(rig, bg, 64)
+		accs = append(accs, out.acc)
+		syncs = append(syncs, out.outOfSync)
+		inss = append(inss, out.ins)
+		dels = append(dels, out.del)
+		subs = append(subs, out.sub)
 	}
 	res := Result{
 		ID:     "sens_chase_traffic",
 		Title:  "chase accuracy vs competing background traffic",
-		Header: []string{"bg rate (pps)", "accuracy", "out-of-sync"},
+		Header: []string{"bg rate (pps)", "accuracy", "out-of-sync", "ins", "del", "sub"},
 	}
 	res.Rows = append(res.Rows, []string{
 		fmt.Sprintf("%.0f", rate), pct(stats.Summarize(accs).Mean), f1(stats.Summarize(syncs).Mean),
+		f2(stats.Summarize(inss).Mean), f2(stats.Summarize(dels).Mean), f2(stats.Summarize(subs).Mean),
 	})
 	res.AddMetric("chase_accuracy", "fraction", stats.Summarize(accs).Mean)
 	res.AddMetric("out_of_sync", "events", stats.Summarize(syncs).Mean)
+	res.AddMetric("insertion_rate", "per-sent-symbol", stats.Summarize(inss).Mean)
+	res.AddMetric("deletion_rate", "per-sent-symbol", stats.Summarize(dels).Mean)
+	res.AddMetric("substitution_rate", "per-sent-symbol", stats.Summarize(subs).Mean)
 	return res, nil
 }
 
-// SensCovertTimer measures single-buffer covert-channel symbol error as
-// the spy's timer gets coarser: jitter first blurs, then swamps, the
-// ~160-cycle hit/miss edge the decoder keys on.
-func SensCovertTimer(scale Scale, seed int64, cell scenario.Cell) (Result, error) {
-	spec := baselineSpec(scale).WithCell(cell)
+// MeasureSensCovertTimer measures single-buffer covert-channel symbol
+// error as the spy's timer gets coarser: jitter first blurs, then swamps,
+// the ~160-cycle hit/miss edge the decoder keys on. The offline phase ran
+// under the reference timer, so what degrades here is purely the online
+// decode — the attack's calibration is as good as it ever gets.
+func MeasureSensCovertTimer(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error) {
+	spec := cellSpec(ctx.Scale, cell)
 	nSymbols := 120
-	if scale == Paper {
+	if ctx.Scale == Paper {
 		nSymbols = 300
 	}
 	var errs, bws []float64
 	for r := 0; r < sensReps; r++ {
-		rig, err := newSweepRig(spec, sim.DeriveSeed(seed, fmt.Sprintf("rep%d", r)))
+		rig, err := sweepClone(art, r, ctx, spec)
 		if err != nil {
 			return Result{}, err
 		}
@@ -231,7 +338,7 @@ func SensCovertTimer(scale Scale, seed int64, cell scenario.Cell) (Result, error
 		if !ok {
 			return Result{}, fmt.Errorf("sens_covert_timer: no isolated buffer in ring")
 		}
-		symbols := stats.NewLFSR15(uint16(seed%0x7fff)|1).Symbols(nSymbols, covert.Ternary.Base())
+		symbols := stats.NewLFSR15(uint16(ctx.Seed%0x7fff)|1).Symbols(nSymbols, covert.Ternary.Base())
 		r0, err := covert.RunSingleBuffer(rig.spy, rig.groups[gid], symbols, covert.Ternary, len(ring), 16_500)
 		if err != nil {
 			return Result{}, err
@@ -254,14 +361,16 @@ func SensCovertTimer(scale Scale, seed int64, cell scenario.Cell) (Result, error
 	return res, nil
 }
 
-// SensRingDetect measures footprint-discovery quality as the driver's
-// descriptor ring grows (§VI-c floats growing the ring as a mitigation):
-// precision of the flagged groups and recall of the buffer-hosting sets.
-func SensRingDetect(scale Scale, seed int64, cell scenario.Cell) (Result, error) {
-	spec := baselineSpec(scale).WithCell(cell)
+// MeasureSensRingDetect measures footprint-discovery quality as the
+// driver's descriptor ring grows (§VI-c floats growing the ring as a
+// mitigation): precision of the flagged groups and recall of the
+// buffer-hosting sets. The ring size is offline-relevant geometry, so
+// each cell prepares (and a warm runner caches) its own machines.
+func MeasureSensRingDetect(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error) {
+	spec := cellSpec(ctx.Scale, cell)
 	var precs, recalls, flagged []float64
 	for r := 0; r < sensReps; r++ {
-		rig, err := newSweepRig(spec, sim.DeriveSeed(seed, fmt.Sprintf("rep%d", r)))
+		rig, err := sweepClone(art, r, ctx, spec)
 		if err != nil {
 			return Result{}, err
 		}

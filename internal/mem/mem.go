@@ -68,6 +68,55 @@ func (al *Allocator) TotalPages() uint64 { return al.numPages }
 // FreePages returns the number of currently free pages.
 func (al *Allocator) FreePages() int { return len(al.free) }
 
+// NewAllocatorShell creates an allocator over totalBytes with no free
+// pages and no RNG work — a restore target. The expensive part of
+// NewAllocator is shuffling the free-frame list; a shell skips it because
+// Restore overwrites the list wholesale with the snapshot's exact order.
+// A shell that is never restored cannot allocate (every AllocPage fails).
+func NewAllocatorShell(totalBytes uint64) *Allocator {
+	n := totalBytes / PageSize
+	if n == 0 {
+		panic("mem: allocator needs at least one page")
+	}
+	return &Allocator{used: make(map[uint64]bool), numPages: n}
+}
+
+// AllocatorState is a deep copy of an allocator's free/used bookkeeping,
+// taken by Snapshot and reapplied by Restore. The free list order is part
+// of the state: it determines every future allocation.
+type AllocatorState struct {
+	free     []uint64
+	used     map[uint64]bool
+	numPages uint64
+}
+
+// Snapshot captures the allocator's state. The returned value is immutable
+// and safe to restore into any allocator built over the same memory size.
+func (al *Allocator) Snapshot() *AllocatorState {
+	used := make(map[uint64]bool, len(al.used))
+	for k := range al.used {
+		used[k] = true
+	}
+	return &AllocatorState{
+		free:     append([]uint64(nil), al.free...),
+		used:     used,
+		numPages: al.numPages,
+	}
+}
+
+// Restore overwrites the allocator's state from a snapshot. It panics on a
+// memory-size mismatch (snapshots never move between machine shapes).
+func (al *Allocator) Restore(st *AllocatorState) {
+	if st.numPages != al.numPages {
+		panic(fmt.Sprintf("mem: restoring %d-page snapshot into %d-page allocator", st.numPages, al.numPages))
+	}
+	al.free = append(al.free[:0:0], st.free...)
+	al.used = make(map[uint64]bool, len(st.used))
+	for k := range st.used {
+		al.used[k] = true
+	}
+}
+
 // AllocPage returns the base address of a newly allocated physical page.
 func (al *Allocator) AllocPage() (Addr, error) {
 	if len(al.free) == 0 {
@@ -145,6 +194,20 @@ func NewRegion(al *Allocator, n int) (*Region, error) {
 		return nil, err
 	}
 	return &Region{pages: pages}, nil
+}
+
+// RegionFromPages rebuilds a region over frames that are already allocated
+// — the warm-start path, where a restored allocator snapshot records the
+// spy's pages as used and the region must be re-attached rather than
+// re-allocated. The page list is copied.
+func RegionFromPages(pages []Addr) *Region {
+	return &Region{pages: append([]Addr(nil), pages...)}
+}
+
+// PageAddrs returns the physical base addresses of the region's pages, in
+// mapping order (snapshot support; attack code never reads this).
+func (r *Region) PageAddrs() []Addr {
+	return append([]Addr(nil), r.pages...)
 }
 
 // Size returns the region size in bytes.

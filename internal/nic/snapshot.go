@@ -1,0 +1,98 @@
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Snapshot is a deep copy of the driver model's mutable state: the rx ring
+// (descriptor pages change under reallocation and the §VI defenses), the
+// head cursor, DMA-completed frames awaiting driver processing, the skb
+// cursor and pool, the randomization counters, the driver counters, and
+// the driver RNG's stream position.
+type Snapshot struct {
+	ring     []descriptor
+	head     int
+	queue    []pending
+	skb      []mem.Addr
+	skbIdx   int
+	descRing mem.Addr
+	sincePct int
+	stats    Stats
+	rng      *sim.RNGState // nil when the driver was built without an RNG
+}
+
+// NewShell builds a driver model shaped for cfg without allocating any
+// buffer, skb, or descriptor-ring pages — a restore target for the
+// machine-clone path, where Restore immediately overwrites every page
+// address with the snapshot's. Geometry validation matches New; a shell
+// that is never restored has a zeroed ring and must not receive traffic.
+func NewShell(cfg Config, c *cache.Cache, alloc *mem.Allocator, clock *sim.Clock, rng *sim.RNG) (*NIC, error) {
+	if cfg.RingSize <= 0 || cfg.BufferSize <= 0 || cfg.BufferSize > mem.PageSize {
+		return nil, fmt.Errorf("nic: invalid ring/buffer geometry %d/%d", cfg.RingSize, cfg.BufferSize)
+	}
+	if cfg.SKBPages <= 0 {
+		cfg.SKBPages = 1
+	}
+	return &NIC{
+		cfg: cfg, cache: c, alloc: alloc, clock: clock, rng: rng,
+		ring: make([]descriptor, cfg.RingSize),
+		skb:  make([]mem.Addr, cfg.SKBPages),
+	}, nil
+}
+
+// Snapshot captures the NIC+driver state.
+func (n *NIC) Snapshot() *Snapshot {
+	s := &Snapshot{
+		ring:     append([]descriptor(nil), n.ring...),
+		head:     n.head,
+		queue:    append([]pending(nil), n.queue...),
+		skb:      append([]mem.Addr(nil), n.skb...),
+		skbIdx:   n.skbIdx,
+		descRing: n.descRing,
+		sincePct: n.sincePct,
+		stats:    n.stats,
+	}
+	if n.rng != nil {
+		st := n.rng.Snapshot()
+		s.rng = &st
+	}
+	return s
+}
+
+// Restore overwrites the NIC's mutable state from a snapshot taken on a
+// NIC with the same ring geometry. It panics on a geometry mismatch.
+func (n *NIC) Restore(s *Snapshot) {
+	if len(s.ring) != len(n.ring) || len(s.skb) != len(n.skb) {
+		panic(fmt.Sprintf("nic: restoring %d-desc/%d-skb snapshot into %d-desc/%d-skb driver",
+			len(s.ring), len(s.skb), len(n.ring), len(n.skb)))
+	}
+	copy(n.ring, s.ring)
+	n.head = s.head
+	n.queue = append(n.queue[:0:0], s.queue...)
+	copy(n.skb, s.skb)
+	n.skbIdx = s.skbIdx
+	n.descRing = s.descRing
+	n.sincePct = s.sincePct
+	n.stats = s.stats
+	switch {
+	case s.rng == nil:
+		n.rng = nil
+	case n.rng == nil:
+		n.rng = sim.NewRNG(s.rng.Seed)
+		n.rng.Restore(*s.rng)
+	default:
+		n.rng.Restore(*s.rng)
+	}
+}
+
+// ReseedRNG re-derives the driver's RNG stream from a fresh seed — the
+// online-phase decorrelation hook (testbed.ReseedOnline). The driver draws
+// randomness only for buffer reallocation, so with ReallocProb == 0 and no
+// §VI defense this is a no-op in effect.
+func (n *NIC) ReseedRNG(seed int64) {
+	n.rng = sim.Derive(seed, "driver-online")
+}

@@ -40,6 +40,40 @@ func NewSpy(tb *testbed.Testbed, pages int) (*Spy, error) {
 	return s, nil
 }
 
+// SpyState is the spy's post-calibration state: its mapped pages and the
+// measured latency edge. Together with a machine snapshot it lets a warm
+// start rebind an identical spy to a restored machine without re-running
+// region allocation or calibration (both already baked into the snapshot).
+type SpyState struct {
+	Pages             []mem.Addr
+	OverheadPerAccess uint64
+	HitLat, MissLat   uint64
+}
+
+// State captures the spy for later RestoreSpy.
+func (s *Spy) State() SpyState {
+	return SpyState{
+		Pages:             s.region.PageAddrs(),
+		OverheadPerAccess: s.OverheadPerAccess,
+		HitLat:            s.hitLat,
+		MissLat:           s.missLat,
+	}
+}
+
+// RestoreSpy rebinds a captured spy to a testbed whose machine snapshot
+// already accounts for the spy's pages (they are marked used in the
+// restored allocator) and calibration side effects (clock advance, timer
+// draws). No allocation or calibration happens here.
+func RestoreSpy(tb *testbed.Testbed, st SpyState) *Spy {
+	return &Spy{
+		tb:                tb,
+		region:            mem.RegionFromPages(st.Pages),
+		OverheadPerAccess: st.OverheadPerAccess,
+		hitLat:            st.HitLat,
+		missLat:           st.MissLat,
+	}
+}
+
 // Pages returns the number of pages in the spy's buffer.
 func (s *Spy) Pages() int { return s.region.Pages() }
 

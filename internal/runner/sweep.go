@@ -82,12 +82,44 @@ func CellSeed(root int64, sweepID, cellKey string, trial int) int64 {
 	return sim.DeriveSeed(root, fmt.Sprintf("%s/%s/trial%d", sweepID, cellKey, trial))
 }
 
+// SweepOfflineSeed derives the offline-phase seed of a phase-split sweep.
+// Unlike CellSeed it deliberately excludes the cell key and trial index:
+// every cell and trial prepares the same machines for a given machine
+// shape, which is what lets a warm run share one offline artifact across
+// the entire grid when the swept axes are online-only. Cells that do
+// sweep offline-relevant geometry (e.g. ring size) still get distinct
+// artifacts via the store's machine fingerprint, not via the seed.
+func SweepOfflineSeed(root int64, sweepID string) int64 {
+	return sim.DeriveSeed(root, sweepID+"/offline")
+}
+
+// runSweepTrial executes one (cell, trial). Phase-split sweeps prepare
+// their cell's machines (against the shared store when warm) and measure
+// on clones; legacy sweeps run monolithically.
+func runSweepTrial(sw experiments.Sweep, opts Options, cell scenario.Cell, trial int, store *experiments.ArtifactStore) (experiments.Result, error) {
+	seed := CellSeed(opts.Seed, sw.ID, cell.Key(), trial)
+	if !sw.Phased() {
+		return safeCall(func() (experiments.Result, error) { return sw.Run(opts.Scale, seed, cell) })
+	}
+	return safeCall(func() (experiments.Result, error) {
+		art, err := sw.Prepare(experiments.PrepareCtx{
+			Scale: opts.Scale,
+			Seed:  SweepOfflineSeed(opts.Seed, sw.ID),
+			Store: store,
+		}, cell)
+		if err != nil {
+			return experiments.Result{}, err
+		}
+		return sw.Measure(experiments.MeasureCtx{Scale: opts.Scale, Seed: seed}, art, cell)
+	})
+}
+
 // RunSweep executes every cell of the sweep's grid for opts.Trials trials
 // on a pool of opts.Parallel workers. Cell failures (including panics) are
 // recorded per cell so one broken corner of the parameter space does not
 // discard the rest of the curve.
 func RunSweep(sw experiments.Sweep, opts Options) (*SweepReport, error) {
-	if sw.Run == nil {
+	if sw.Run == nil && !sw.Phased() {
 		return nil, fmt.Errorf("runner: sweep %q has no run function", sw.ID)
 	}
 	if err := sw.Grid.Validate(); err != nil {
@@ -113,17 +145,19 @@ func RunSweep(sw experiments.Sweep, opts Options) (*SweepReport, error) {
 	done := 0
 	total := len(cells) * opts.Trials
 
+	var store *experiments.ArtifactStore
+	if opts.Warm {
+		store = experiments.NewArtifactStore()
+	}
+
 	for w := 0; w < opts.Parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
 				cell := cells[j.ci]
-				seed := CellSeed(opts.Seed, sw.ID, cell.Key(), j.ti)
 				start := time.Now()
-				res, err := safeRun(func(scale experiments.Scale, seed int64) (experiments.Result, error) {
-					return sw.Run(scale, seed, cell)
-				}, opts.Scale, seed)
+				res, err := runSweepTrial(sw, opts, cell, j.ti, store)
 				wall := time.Since(start)
 				outcomes[j.ci][j.ti] = trialOutcome{result: res, err: err, wall: wall}
 				status := "ok"

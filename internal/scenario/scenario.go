@@ -13,6 +13,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/netmodel"
@@ -68,7 +69,10 @@ type Spec struct {
 	// NoiseRate is the background process's cache-line touch rate in
 	// accesses/second (ambient co-tenant activity).
 	NoiseRate float64
-	// TimerNoise is the spy timer's jitter in cycles (0 = perfect timer).
+	// TimerNoise is the magnitude of the spy timer's one-sided jitter in
+	// cycles: each latency reading gains a uniform value in
+	// [0, 2*TimerNoise] (mean TimerNoise; a coarse timer only ever
+	// over-reports). 0 = perfect timer.
 	TimerNoise uint64
 
 	// Flows is the scenario's background traffic mix. Experiments add
@@ -90,10 +94,31 @@ func Baseline(paper bool) Spec {
 	return s
 }
 
-// Preset returns a named scenario (demo geometry), ok=false for unknown
-// names. The presets model the deployment situations the paper's
-// sensitivity discussion spans.
+// Preset returns a named scenario, ok=false for unknown names. The presets
+// model the deployment situations the paper's sensitivity discussion
+// spans. Each exists at two scales: the bare name selects the demo
+// machine; the "-paper" suffix (e.g. "busy-multi-tenant-paper") selects
+// the full 20 MB / 8-slice / 256-descriptor paper machine, so sweeps can
+// run at paper scale without hand-built Specs.
 func Preset(name string) (Spec, bool) {
+	base, paper := name, false
+	if n, ok := strings.CutSuffix(name, "-paper"); ok {
+		base, paper = n, true
+	}
+	s, ok := presetDemo(base)
+	if !ok {
+		return Spec{}, false
+	}
+	s.Name = name
+	if paper {
+		s = s.AtPaperScale()
+		s.Name = name
+	}
+	return s, true
+}
+
+// presetDemo builds the demo-geometry body of a preset.
+func presetDemo(name string) (Spec, bool) {
 	s := Baseline(false)
 	s.Name = name
 	switch name {
@@ -136,9 +161,29 @@ func Preset(name string) (Spec, bool) {
 	return s, true
 }
 
-// PresetNames lists the preset names in a stable order.
+// PresetNames lists the preset names in a stable order: every demo preset
+// followed by its paper-scale variant.
 func PresetNames() []string {
-	return []string{"idle-server", "busy-multi-tenant", "bursty-web", "paced-covert"}
+	demo := []string{"idle-server", "busy-multi-tenant", "bursty-web", "paced-covert"}
+	out := append([]string(nil), demo...)
+	for _, n := range demo {
+		out = append(out, n+"-paper")
+	}
+	return out
+}
+
+// AtPaperScale lifts a spec onto the full paper machine: the 20 MB
+// 8x2048x20 LLC, the 256-descriptor IGB ring, and default memory. All
+// zero-value geometry fields mean exactly that (see Spec), so lifting is
+// clearing the demo overrides. Environment and traffic are preserved.
+func (s Spec) AtPaperScale() Spec {
+	s.CacheSlices, s.CacheSetsPerSlice, s.CacheWays = 0, 0, 0
+	s.RingSize = 0
+	s.MemBytes = 0
+	if !strings.HasSuffix(s.Name, "-paper") {
+		s.Name += "-paper"
+	}
+	return s
 }
 
 // Validate checks the spec is buildable.
@@ -208,6 +253,35 @@ func (s Spec) Options(seed int64) testbed.Options {
 	opts.NoiseRate = s.NoiseRate
 	opts.TimerNoise = s.TimerNoise
 	return opts
+}
+
+// Reference environment the offline phase of a phase-split experiment
+// runs under. These match Baseline: the attacker prepares (builds eviction
+// sets, calibrates) in the conditions it can arrange, and only the online
+// measurement phase faces a scenario's swept noise and timer conditions.
+const (
+	OfflineNoiseRate  = 20_000
+	OfflineTimerNoise = 4
+)
+
+// Offline returns the spec the offline phase runs at: same machine
+// geometry, but the reference noise/timer environment and no background
+// flows. Two scenario cells whose Offline specs have equal Fingerprints
+// (and equal offline seeds) share one prepared machine.
+func (s Spec) Offline() Spec {
+	s.NoiseRate = OfflineNoiseRate
+	s.TimerNoise = OfflineTimerNoise
+	s.Flows = nil
+	return s
+}
+
+// Fingerprint canonically identifies the offline-relevant machine shape
+// this spec describes — geometry, driver configuration, and memory size,
+// with defaults resolved — and deliberately ignores the name, the
+// environment knobs (NoiseRate, TimerNoise), and the traffic mix. It is
+// the content-address half of the offline artifact store's key.
+func (s Spec) Fingerprint() string {
+	return s.Options(0).OfflineFingerprint()
 }
 
 // NewTestbed validates the spec, builds its machine, and installs the

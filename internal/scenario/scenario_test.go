@@ -194,3 +194,88 @@ func TestWithCell(t *testing.T) {
 		t.Errorf("WithCell mutated the base spec: %+v", s)
 	}
 }
+
+// TestPaperPresets: each preset's "-paper" variant must resolve, validate,
+// run on the full paper machine, and keep the demo variant's environment
+// and traffic mix.
+func TestPaperPresets(t *testing.T) {
+	for _, base := range []string{"idle-server", "busy-multi-tenant", "bursty-web", "paced-covert"} {
+		demo, ok := Preset(base)
+		if !ok {
+			t.Fatalf("preset %q missing", base)
+		}
+		paper, ok := Preset(base + "-paper")
+		if !ok {
+			t.Fatalf("preset %q missing", base+"-paper")
+		}
+		if err := paper.Validate(); err != nil {
+			t.Errorf("%s-paper invalid: %v", base, err)
+		}
+		opts := paper.Options(1)
+		if opts.Cache.SizeBytes() != 20<<20 || opts.NIC.RingSize != 256 {
+			t.Errorf("%s-paper not at paper scale: %d bytes LLC, ring %d",
+				base, opts.Cache.SizeBytes(), opts.NIC.RingSize)
+		}
+		if paper.NoiseRate != demo.NoiseRate || paper.TimerNoise != demo.TimerNoise {
+			t.Errorf("%s-paper environment drifted from demo preset", base)
+		}
+		if len(paper.Flows) != len(demo.Flows) {
+			t.Errorf("%s-paper traffic mix drifted: %d flows vs %d", base, len(paper.Flows), len(demo.Flows))
+		}
+	}
+}
+
+// TestAtPaperScaleIdempotent: lifting twice is lifting once, and every
+// machine override — geometry, ring, memory — is cleared to the paper
+// defaults.
+func TestAtPaperScaleIdempotent(t *testing.T) {
+	s, _ := Preset("bursty-web")
+	s.MemBytes = 64 << 20
+	once := s.AtPaperScale()
+	twice := once.AtPaperScale()
+	if once.Name != "bursty-web-paper" || twice.Name != once.Name {
+		t.Errorf("names: %q then %q", once.Name, twice.Name)
+	}
+	if twice.CacheSlices != 0 || twice.RingSize != 0 || twice.MemBytes != 0 {
+		t.Errorf("machine overrides survived lifting: %+v", twice)
+	}
+}
+
+// TestOfflineSpec: the offline view keeps geometry, resets environment to
+// the reference, and drops flows.
+func TestOfflineSpec(t *testing.T) {
+	s, _ := Preset("busy-multi-tenant")
+	s.RingSize = 32
+	off := s.Offline()
+	if off.NoiseRate != OfflineNoiseRate || off.TimerNoise != OfflineTimerNoise {
+		t.Errorf("offline environment not at reference: %+v", off)
+	}
+	if off.Flows != nil {
+		t.Error("offline spec must drop traffic flows")
+	}
+	if off.RingSize != 32 || off.CacheSlices != s.CacheSlices {
+		t.Error("offline spec must preserve geometry")
+	}
+}
+
+// TestFingerprintContract: equal machine shapes fingerprint equally no
+// matter the environment; geometry changes alter the fingerprint.
+func TestFingerprintContract(t *testing.T) {
+	a := Baseline(false)
+	b := Baseline(false)
+	b.Name = "renamed"
+	b.NoiseRate = 9_999_999
+	b.TimerNoise = 400
+	b.Flows = []Flow{{Kind: FlowPoisson, Sizes: []int{64}, Rate: 1000, Count: -1}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("environment and naming must not affect the fingerprint")
+	}
+	c := Baseline(false)
+	c.RingSize = 128
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("ring size is offline-relevant and must alter the fingerprint")
+	}
+	if Baseline(false).Fingerprint() == Baseline(true).Fingerprint() {
+		t.Error("demo and paper machines must fingerprint differently")
+	}
+}

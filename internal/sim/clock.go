@@ -46,6 +46,15 @@ func (c *Clock) AdvanceTo(t uint64) {
 	c.now = t
 }
 
+// Snapshot captures the current cycle for later Restore.
+func (c *Clock) Snapshot() uint64 { return c.now }
+
+// Restore sets the clock to a previously captured cycle. Unlike AdvanceTo
+// it may rewind: restoring a machine snapshot legitimately moves time
+// backwards, and the surrounding components are restored with it so no
+// event-ordering invariant is violated.
+func (c *Clock) Restore(t uint64) { c.now = t }
+
 // CyclesPerSecond converts a per-second rate into a cycle period, rounding
 // to the nearest cycle. A rate of 0 returns 0.
 func CyclesPerSecond(rate float64) uint64 {

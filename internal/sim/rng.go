@@ -6,13 +6,73 @@ import "math/rand"
 // experiment takes a single root seed and derives independent streams for
 // its components (page allocator, noise process, traffic jitter, ...).
 // Derived streams are decorrelated by splitmix-style seed scrambling.
+//
+// An RNG's position in its stream is observable and restorable: the
+// underlying source counts its draws, so a stream state is just
+// (seed, draws) and Restore replays the source to the recorded position.
+// This is what makes honest machine snapshotting possible — a restored
+// world continues with exactly the random decisions the original would
+// have made.
 type RNG struct {
 	*rand.Rand
+	src *countedSource
+}
+
+// countedSource wraps the stock math/rand source, counting state
+// advances. Both Int63 and Uint64 advance the generator by exactly one
+// step, so replaying N draws of either reproduces the state after any
+// interleaving of N calls.
+type countedSource struct {
+	src   rand.Source64
+	seedv int64
+	draws uint64
+}
+
+func (s *countedSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countedSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countedSource) Seed(seed int64) {
+	s.seedv = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// RNGState is a snapshot of an RNG's stream position.
+type RNGState struct {
+	Seed  int64
+	Draws uint64
 }
 
 // NewRNG returns a deterministic RNG for the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+	src := &countedSource{src: rand.NewSource(seed).(rand.Source64), seedv: seed}
+	return &RNG{Rand: rand.New(src), src: src}
+}
+
+// Snapshot captures the RNG's stream position.
+func (r *RNG) Snapshot() RNGState {
+	return RNGState{Seed: r.src.seedv, Draws: r.src.draws}
+}
+
+// Restore rewinds (or fast-forwards) the RNG to a previously captured
+// position by reseeding and replaying the source. The cost is one cheap
+// generator step per recorded draw; even multi-minute simulated offline
+// phases replay in milliseconds.
+func (r *RNG) Restore(st RNGState) {
+	src := &countedSource{src: rand.NewSource(st.Seed).(rand.Source64), seedv: st.Seed}
+	for i := uint64(0); i < st.Draws; i++ {
+		src.src.Uint64()
+	}
+	src.draws = st.Draws
+	r.src = src
+	r.Rand = rand.New(src)
 }
 
 // DeriveSeed maps a root seed plus a stream label to a new seed that is

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRNGSnapshotReplay: a restored RNG must reproduce the exact draw
+// sequence the original produced after the snapshot point, across every
+// draw kind the simulation uses (the kinds consume source steps at
+// different rates, so this also guards the source-level counting).
+func TestRNGSnapshotReplay(t *testing.T) {
+	r := NewRNG(42)
+	// Burn a mixed prefix.
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			r.Intn(1000)
+		case 1:
+			r.Float64()
+		case 2:
+			r.ExpFloat64()
+		case 3:
+			r.Int63()
+		case 4:
+			r.Bernoulli(0.3)
+		}
+	}
+	st := r.Snapshot()
+	var want []float64
+	for i := 0; i < 200; i++ {
+		want = append(want, r.Float64(), float64(r.Intn(1<<30)), r.ExpFloat64())
+	}
+	r.Restore(st)
+	for i := 0; i < 200; i++ {
+		got := []float64{r.Float64(), float64(r.Intn(1 << 30)), r.ExpFloat64()}
+		for k, g := range got {
+			if g != want[i*3+k] {
+				t.Fatalf("draw %d/%d diverged after restore: %v != %v", i, k, g, want[i*3+k])
+			}
+		}
+	}
+}
+
+// TestRNGSnapshotIntoFreshRNG: restoring into a different RNG instance
+// (the machine-clone path) behaves identically to restoring in place.
+func TestRNGSnapshotIntoFreshRNG(t *testing.T) {
+	check := func(seed int64, burn uint16) bool {
+		a := NewRNG(seed)
+		for i := 0; i < int(burn); i++ {
+			a.Intn(10)
+		}
+		st := a.Snapshot()
+		b := NewRNG(0) // unrelated stream
+		b.Restore(st)
+		for i := 0; i < 32; i++ {
+			if a.Int63() != b.Int63() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRNGSnapshotOfDerivedStream: Derive'd streams snapshot and restore
+// like root streams.
+func TestRNGSnapshotOfDerivedStream(t *testing.T) {
+	r := Derive(7, "noise")
+	r.Float64()
+	r.Float64()
+	st := r.Snapshot()
+	want := r.Int63()
+	r.Restore(st)
+	if got := r.Int63(); got != want {
+		t.Fatalf("derived stream diverged: %d != %d", got, want)
+	}
+	if st.Draws != 2 {
+		t.Fatalf("draw count = %d want 2", st.Draws)
+	}
+}
+
+// TestClockSnapshotRestore: Restore may rewind, unlike AdvanceTo.
+func TestClockSnapshotRestore(t *testing.T) {
+	c := NewClock()
+	c.Advance(1000)
+	st := c.Snapshot()
+	c.Advance(500)
+	c.Restore(st)
+	if c.Now() != 1000 {
+		t.Fatalf("restored clock at %d want 1000", c.Now())
+	}
+	// A restored clock must accept normal advancement again.
+	c.AdvanceTo(1200)
+	if c.Now() != 1200 {
+		t.Fatalf("clock at %d want 1200", c.Now())
+	}
+}

@@ -61,6 +61,50 @@ func ErrorRate(sent, received []int) float64 {
 	return float64(Levenshtein(sent, received)) / float64(len(sent))
 }
 
+// LevenshteinOps decomposes the Levenshtein distance from a to b into its
+// operation counts: deletions remove elements of a, insertions add
+// elements of b, substitutions replace one with the other. The total
+// ins+del+sub equals Levenshtein(a, b). When several minimal alignments
+// exist the backtrace prefers matches, then substitutions, then
+// deletions — a fixed rule, so the decomposition is deterministic.
+func LevenshteinOps(a, b []int) (ins, del, sub int) {
+	n, m := len(a), len(b)
+	d := make([][]int, n+1)
+	for i := range d {
+		d[i] = make([]int, m+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= m; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+		}
+	}
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && d[i][j] == d[i-1][j-1]:
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+1:
+			sub++
+			i, j = i-1, j-1
+		case i > 0 && d[i][j] == d[i-1][j]+1:
+			del++
+			i--
+		default:
+			ins++
+			j--
+		}
+	}
+	return ins, del, sub
+}
+
 // LongestMismatch returns the length of the longest run of consecutive
 // positions at which the aligned sequences disagree. Alignment is the
 // standard Levenshtein backtrace; mismatched, inserted, and deleted

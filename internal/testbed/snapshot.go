@@ -1,0 +1,167 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// Snapshot is a deep, immutable copy of the whole machine's mutable state:
+// clock cycle, cache contents, physical-memory bookkeeping, NIC/driver
+// state, the noise and timer RNG stream positions, and the noise process
+// cursor. One snapshot can be restored any number of times, into the
+// testbed it was taken from or into a freshly constructed testbed with
+// identical Options — the warm-start path clones machines that way, one
+// independent clone per concurrent trial.
+//
+// A snapshot deliberately excludes the traffic source: Source
+// implementations are arbitrary iterators with no generic state capture.
+// Snapshots are therefore taken between traffic phases (the phase-split
+// experiment API snapshots after the offline phase, before any online
+// stream is installed) and Restore leaves the machine with no traffic.
+type Snapshot struct {
+	clock uint64
+	cache *cache.Snapshot
+	alloc *mem.AllocatorState
+	nic   *nic.Snapshot
+
+	noiseRNG sim.RNGState
+	timerRNG sim.RNGState
+
+	noiseRate   float64
+	timerNoise  uint64
+	noisePeriod uint64
+	noiseNextAt uint64
+	noiseSpace  uint64
+}
+
+// Snapshot captures the machine state. It fails when a traffic source is
+// installed or a frame is already peeked from one: traffic cursors cannot
+// be captured generically, so snapshotting mid-stream would silently drop
+// frames on restore.
+func (tb *Testbed) Snapshot() (*Snapshot, error) {
+	if tb.traffic != nil || tb.nextFrame != nil {
+		return nil, fmt.Errorf("testbed: cannot snapshot with a traffic source installed")
+	}
+	return &Snapshot{
+		clock:       tb.clock.Snapshot(),
+		cache:       tb.cache.Snapshot(),
+		alloc:       tb.alloc.Snapshot(),
+		nic:         tb.nic.Snapshot(),
+		noiseRNG:    tb.noiseRNG.Snapshot(),
+		timerRNG:    tb.timerRNG.Snapshot(),
+		noiseRate:   tb.opts.NoiseRate,
+		timerNoise:  tb.opts.TimerNoise,
+		noisePeriod: tb.noisePeriod,
+		noiseNextAt: tb.noiseNextAt,
+		noiseSpace:  tb.noiseSpace,
+	}, nil
+}
+
+// NewFromSnapshot builds an independent machine directly in a snapshot's
+// state — the warm-start clone path. Unlike New followed by Restore, it
+// assembles component shells (no free-list shuffle, no ring/skb/spy page
+// allocation, no RNG warm-up) since Restore overwrites all of that
+// wholesale; the result is state-identical to restoring into a
+// conventionally built testbed with the same options, just cheaper. One
+// immutable snapshot may be cloned concurrently any number of times.
+func NewFromSnapshot(opts Options, s *Snapshot) (*Testbed, error) {
+	if opts.MemBytes == 0 {
+		opts.MemBytes = 1 << 30
+	}
+	clock := sim.NewClock()
+	c := cache.New(opts.Cache, clock)
+	alloc := mem.NewAllocatorShell(opts.MemBytes)
+	n, err := nic.NewShell(opts.NIC, c, alloc, clock, sim.NewRNG(0))
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	tb := &Testbed{
+		opts:       opts,
+		clock:      clock,
+		cache:      c,
+		alloc:      alloc,
+		nic:        n,
+		noiseRNG:   sim.NewRNG(0),
+		timerRNG:   sim.NewRNG(0),
+		noiseSpace: opts.MemBytes,
+	}
+	tb.Restore(s)
+	return tb, nil
+}
+
+// Restore overwrites the machine's mutable state from a snapshot taken on
+// a machine with identical geometry (same Options except, possibly, the
+// online knobs NoiseRate and TimerNoise, which the snapshot carries). Any
+// installed traffic source is dropped, matching the no-traffic state the
+// snapshot was taken in.
+func (tb *Testbed) Restore(s *Snapshot) {
+	tb.clock.Restore(s.clock)
+	tb.cache.Restore(s.cache)
+	tb.alloc.Restore(s.alloc)
+	tb.nic.Restore(s.nic)
+	tb.noiseRNG.Restore(s.noiseRNG)
+	tb.timerRNG.Restore(s.timerRNG)
+	tb.opts.NoiseRate = s.noiseRate
+	tb.opts.TimerNoise = s.timerNoise
+	tb.noisePeriod = s.noisePeriod
+	tb.noiseNextAt = s.noiseNextAt
+	tb.noiseSpace = s.noiseSpace
+	tb.traffic = nil
+	tb.nextFrame = nil
+}
+
+// SetNoiseRate changes the background process's access rate mid-run — the
+// online phase of a sweep applies its cell's noise level to a machine
+// restored from a snapshot taken under the reference offline environment.
+// The next noise event is rescheduled one full period out from now; rate 0
+// disables the process.
+func (tb *Testbed) SetNoiseRate(rate float64) {
+	tb.opts.NoiseRate = rate
+	if rate <= 0 {
+		tb.noisePeriod = 0
+		tb.noiseNextAt = 0
+		return
+	}
+	tb.noisePeriod = sim.CyclesPerSecond(rate)
+	tb.noiseNextAt = tb.clock.Now() + tb.noisePeriod
+}
+
+// SetTimerNoise changes the spy timer's jitter magnitude mid-run (see
+// Options.TimerNoise for the one-sided jitter model).
+func (tb *Testbed) SetTimerNoise(jitter uint64) {
+	tb.opts.TimerNoise = jitter
+}
+
+// OfflineFingerprint is a canonical string over every option that shapes
+// the offline phase of an attack: cache geometry and features, NIC/driver
+// configuration, and physical memory size. The online-only knobs —
+// NoiseRate, TimerNoise — and the seed are deliberately excluded; the
+// artifact store combines this fingerprint with the offline seed, so two
+// machines with equal fingerprints and seeds are interchangeable bit for
+// bit.
+func (o Options) OfflineFingerprint() string {
+	c := o.Cache
+	part := "nil"
+	if c.Partition != nil {
+		part = fmt.Sprintf("%+v", *c.Partition)
+	}
+	return fmt.Sprintf("cache{%d/%d/%d hit=%d miss=%d ddio=%v/%d part=%s}|nic%+v|mem=%d",
+		c.Slices, c.SetsPerSlice, c.Ways, c.HitLatency, c.MissLatency,
+		c.DDIO, c.DDIOWays, part, o.NIC, o.MemBytes)
+}
+
+// ReseedOnline re-derives the machine's online random streams — timer
+// jitter, background noise, and the driver's reallocation draws — from a
+// fresh seed, leaving the clock, cache, memory, and ring state untouched.
+// Warm-started trials decorrelate this way: every trial measures the same
+// prepared machine, but ambient randomness differs per trial exactly as it
+// would across repeated measurements on real hardware.
+func (tb *Testbed) ReseedOnline(seed int64) {
+	tb.noiseRNG = sim.Derive(seed, "noise-online")
+	tb.timerRNG = sim.Derive(seed, "timer-online")
+	tb.nic.ReseedRNG(seed)
+}

@@ -31,9 +31,11 @@ type Options struct {
 	// touching uniformly random cache lines — ambient server activity
 	// that the attack's thresholds and windows must tolerate.
 	NoiseRate float64
-	// TimerNoise is the ± jitter in cycles added to the spy's latency
-	// measurements, modeling timer granularity. Zero means a perfect
-	// timer.
+	// TimerNoise is the magnitude of one-sided jitter added to the spy's
+	// latency measurements, modeling timer granularity: TimerRead adds a
+	// uniform value in [0, 2*TimerNoise] cycles (mean TimerNoise), never
+	// subtracting — a coarse timer can only over-report elapsed work.
+	// Zero means a perfect timer.
 	TimerNoise uint64
 }
 
