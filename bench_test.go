@@ -127,6 +127,7 @@ func benchExperiment(b *testing.B, id string) {
 func BenchmarkFig05BufferMapping(b *testing.B)    { benchExperiment(b, "fig5") }
 func BenchmarkFig07ReceiveFootprint(b *testing.B) { benchExperiment(b, "fig7") }
 func BenchmarkFig08SizeDetection(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkMatrixDefense(b *testing.B)         { benchExperiment(b, "matrix_defense") }
 
 func BenchmarkFig06MappingDistribution(b *testing.B) {
 	// Fig 6 at bench scale: 100 driver instances per iteration.

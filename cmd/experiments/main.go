@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-exp id,id,...|all] [-scale demo|paper] [-seed N]
-//	            [-trials T] [-parallel N] [-warm|-cold]
+//	            [-trials T] [-parallel N] [-warm|-cold] [-artifact-dir dir]
 //	            [-format text|json] [-o file]
 //	experiments -sweep id [same flags]
 //
@@ -38,8 +38,11 @@
 // calibration — is run once per distinct machine shape and snapshotted;
 // every further trial (and every sweep cell whose swept axes don't touch
 // offline state) measures on machines cloned from the snapshot. -cold
-// disables the reuse. The output bytes are identical either way; only
-// the wall clock differs.
+// disables the reuse. -artifact-dir additionally persists the artifacts
+// to disk, content-addressed by the same key, so the next invocation (or
+// a CI job with a restored cache directory) skips the offline phases
+// entirely. The output bytes are identical in every mode; only the wall
+// clock differs.
 //
 // Exit status: 0 when every selected experiment (or sweep cell)
 // succeeded, 1 when any failed, 2 on usage errors.
@@ -71,6 +74,7 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
 	warm := flag.Bool("warm", true, "reuse offline artifacts (eviction sets, machine snapshots) across trials and sweep cells")
 	cold := flag.Bool("cold", false, "rebuild the (shared, trial-0-seeded) offline artifacts for every trial instead of caching them (overrides -warm; results are byte-identical either way)")
+	artifactDir := flag.String("artifact-dir", "", "persist offline artifacts to this directory, content-addressed, so repeated invocations skip offline phases (warm mode only; results are byte-identical either way)")
 	format := flag.String("format", "text", "output format: text or json")
 	out := flag.String("o", "", "write results to file instead of stdout")
 	quiet := flag.Bool("q", false, "suppress per-trial progress on stderr")
@@ -152,13 +156,18 @@ func run() int {
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
 	}
+	if *artifactDir != "" && (*cold || !*warm) {
+		fmt.Fprintf(os.Stderr, "-artifact-dir requires warm mode (drop -cold)\n")
+		return 2
+	}
 	ropts := runner.Options{
-		Scale:    scale,
-		Seed:     *seed,
-		Trials:   *trials,
-		Parallel: width,
-		Warm:     *warm && !*cold,
-		Progress: progress,
+		Scale:       scale,
+		Seed:        *seed,
+		Trials:      *trials,
+		Parallel:    width,
+		Warm:        *warm && !*cold,
+		ArtifactDir: *artifactDir,
+		Progress:    progress,
 	}
 	// Both report kinds share the output and exit-status contract.
 	var rep interface {

@@ -1,6 +1,8 @@
-// Defense demo (§VI-§VII): compare the software mitigations and the
-// adaptive I/O cache partitioning defense, on both axes the paper uses —
-// does the attack still work, and what does the defense cost?
+// Defense demo (§VI-§VII): walk the defense registry and compare the
+// mitigations on both axes the paper uses — does the attack still work,
+// and what does the defense cost? Every defense is a first-class value
+// from internal/defense: Apply reshapes the machine the spy attacks, and
+// PerfScheme prices the same mitigation in the perfsim cost model.
 //
 // Run with: go run ./examples/defense
 package main
@@ -9,28 +11,75 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cache"
+	"repro/internal/defense"
 	"repro/internal/netmodel"
-	"repro/internal/nic"
 	"repro/internal/perfsim"
 	"repro/internal/probe"
-	"repro/internal/stats"
-	"repro/internal/testbed"
+	"repro/internal/scenario"
 )
 
-// attackVisibility measures how much packet activity a spy sees on a
-// machine with the given cache/NIC configuration: the fraction of probe
-// samples with activity while a packet stream is flowing.
-func attackVisibility(ccfg cache.Config, ncfg nic.Config, seed int64) float64 {
-	opts := testbed.DefaultOptions(seed)
-	opts.Cache = ccfg
-	opts.NIC = ncfg
-	opts.NoiseRate = 0
-	opts.TimerNoise = 0
-	tb, err := testbed.New(opts)
+// demoDefenses is the subset walked by the demo: one representative per
+// mitigation family keeps the example fast (each visibility measurement
+// pays a full eviction-set build). The stack name is derived from values
+// so retuning DefaultTimerJitter cannot orphan the lookup.
+var demoDefenses = []string{
+	"none", "no-ddio", "adaptive-partition",
+	defense.NewStack(
+		defense.AdaptivePartitioning{},
+		defense.TimerCoarsening{Jitter: defense.DefaultTimerJitter},
+	).Name(),
+}
+
+func main() {
+	fmt.Println("== what the spy sees while packets flow (differential set activity) ==")
+	for _, name := range demoDefenses {
+		d, ok := defense.ByName(name)
+		if !ok {
+			log.Fatalf("defense %q not registered", name)
+		}
+		fmt.Printf("%-36s %5.1f%%\n", name+":", 100*visibility(d, 1))
+	}
+	fmt.Println("(DDIO off still leaks through driver reads; partitioning stops I/O evicting spy lines)")
+
+	fmt.Println("\n== what the defenses cost (Nginx under load, p99 latency) ==")
+	cfg := perfsim.DefaultNginxConfig()
+	cfg.Requests = 10_000
+	cfg.TargetRate = 140_000
+	var baseP99 float64
+	p99By := map[perfsim.Scheme]float64{} // several defenses share a cost scheme
+	for _, d := range defense.All() {
+		p99, ok := p99By[d.PerfScheme()]
+		if !ok {
+			m, err := perfsim.RunNginx(d.PerfScheme(), 20<<20, 5, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p99 = m.LatencyPercentile(99)
+			p99By[d.PerfScheme()] = p99
+		}
+		if d.Name() == "none" {
+			baseP99 = p99
+			fmt.Printf("%-36s p99 %8.0f cycles (baseline)\n", d.Name(), p99)
+		} else {
+			fmt.Printf("%-36s p99 %8.0f cycles (%+.1f%%)\n", d.Name(), p99, 100*(p99-baseP99)/baseP99)
+		}
+	}
+}
+
+// visibility builds the defended demo machine, maps a spy onto it, and
+// measures differential activity (busy minus idle) across every
+// page-aligned set. Under the partition defense the spy's oversized
+// eviction sets self-thrash, so raw activity is meaningless; what matters
+// is whether packets change anything the spy can see.
+func visibility(d defense.Defense, seed int64) float64 {
+	spec := scenario.Baseline(false).WithDefense(d)
+	spec.NoiseRate = 0
+	spec.TimerNoise = 0 // a timer-coarsening defense still overrides this in Apply
+	tb, err := spec.NewTestbed(seed)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ccfg := tb.Cache().Config()
 	spy, err := probe.NewSpy(tb, ccfg.AlignedSetCount()*ccfg.Ways*3)
 	if err != nil {
 		log.Fatal(err)
@@ -47,59 +96,9 @@ func attackVisibility(ccfg cache.Config, ncfg nic.Config, seed int64) float64 {
 		}
 		return m / float64(len(groups))
 	}
-	// Differential visibility: activity while receiving minus idle
-	// activity. (Under the partition defense the spy's oversized eviction
-	// sets self-thrash, so raw activity is meaningless; what matters is
-	// whether packets change anything the spy can see.)
 	idle := mean(mon.Collect(300, 100_000))
 	wire := netmodel.NewWire(netmodel.GigabitRate)
 	tb.SetTraffic(netmodel.NewConstantSource(wire, 256, 200_000, tb.Clock().Now(), -1))
 	busy := mean(mon.Collect(300, 100_000))
 	return busy - idle
-}
-
-func main() {
-	base := cache.ScaledConfig(2, 2048, 8)
-	ncfg := nic.DefaultConfig()
-	ncfg.RingSize = 64
-
-	fmt.Println("== what the spy sees while packets flow (mean set activity) ==")
-	fmt.Printf("vulnerable DDIO:        %5.1f%%\n", 100*attackVisibility(base, ncfg, 1))
-
-	noDDIO := base
-	noDDIO.DDIO = false
-	fmt.Printf("DDIO disabled:          %5.1f%%  (driver reads still leak!)\n",
-		100*attackVisibility(noDDIO, ncfg, 1))
-
-	defended := base
-	defended.Partition = cache.DefaultPartitionConfig()
-	fmt.Printf("adaptive partitioning:  %5.1f%%  (I/O can no longer evict spy lines)\n",
-		100*attackVisibility(defended, ncfg, 1))
-
-	fmt.Println("\n== what the defenses cost (Nginx under load, p99 latency) ==")
-	cfg := perfsim.DefaultNginxConfig()
-	cfg.Requests = 10_000
-	cfg.TargetRate = 140_000
-	var baseP99 float64
-	for _, s := range []perfsim.Scheme{
-		perfsim.SchemeDDIO, perfsim.SchemeAdaptive,
-		perfsim.SchemePartial10k, perfsim.SchemePartial1k, perfsim.SchemeFullRandom,
-	} {
-		env, err := perfsim.NewEnv(s, 20<<20, 5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		m := perfsim.Nginx(env, cfg)
-		lat := make([]float64, len(m.Latencies))
-		for i, l := range m.Latencies {
-			lat[i] = float64(l)
-		}
-		p99 := stats.Percentile(lat, 99)
-		if s == perfsim.SchemeDDIO {
-			baseP99 = p99
-			fmt.Printf("%-28s p99 %8.0f cycles (baseline)\n", s, p99)
-		} else {
-			fmt.Printf("%-28s p99 %8.0f cycles (%+.1f%%)\n", s, p99, 100*(p99-baseP99)/baseP99)
-		}
-	}
 }

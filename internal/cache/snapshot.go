@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
 
 // Snapshot is a deep value copy of a cache's mutable state: line metadata,
 // partition counters, the LRU stamp source, and the traffic counters. It is
@@ -59,4 +63,81 @@ func (c *Cache) Restore(s *Snapshot) {
 	}
 	c.nextID = s.nextID
 	c.stats = s.stats
+}
+
+// snapshotGob mirrors Snapshot with exported fields for the disk-backed
+// artifact store: per-field slices rather than the internal structs, so
+// the wire format does not depend on unexported layout.
+type snapshotGob struct {
+	Geometry string
+	// Line metadata, flattened [set*ways+way] like Snapshot.lines.
+	Tags             []uint64
+	Valid, Dirty, IO []bool
+	Stamps           []uint64
+	// Partition per-set counters (empty when the defense is off).
+	Quota                  []int
+	LastAdapt, OccupCycles []uint64
+	LastUpd                []uint64
+	HasIO                  []bool
+	NextID                 uint64
+	Stats                  Stats
+}
+
+// GobEncode serializes the snapshot (disk-backed warm starts). The
+// snapshot's contents round-trip exactly; a decoded snapshot restores
+// machines bit-identically to the original.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotGob{
+		Geometry: s.geometry,
+		NextID:   s.nextID,
+		Stats:    s.stats,
+	}
+	w.Tags = make([]uint64, len(s.lines))
+	w.Valid = make([]bool, len(s.lines))
+	w.Dirty = make([]bool, len(s.lines))
+	w.IO = make([]bool, len(s.lines))
+	w.Stamps = make([]uint64, len(s.lines))
+	for i, l := range s.lines {
+		w.Tags[i], w.Valid[i], w.Dirty[i], w.IO[i], w.Stamps[i] = l.tag, l.valid, l.dirty, l.io, l.stamp
+	}
+	w.Quota = make([]int, len(s.pstate))
+	w.LastAdapt = make([]uint64, len(s.pstate))
+	w.OccupCycles = make([]uint64, len(s.pstate))
+	w.LastUpd = make([]uint64, len(s.pstate))
+	w.HasIO = make([]bool, len(s.pstate))
+	for i, p := range s.pstate {
+		w.Quota[i], w.LastAdapt[i], w.OccupCycles[i], w.LastUpd[i], w.HasIO[i] =
+			p.quota, p.lastAdapt, p.occupCycles, p.lastUpd, p.hasIO
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds a snapshot from its serialized form.
+func (s *Snapshot) GobDecode(b []byte) error {
+	var w snapshotGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	s.geometry = w.Geometry
+	s.nextID = w.NextID
+	s.stats = w.Stats
+	s.lines = make([]line, len(w.Tags))
+	for i := range s.lines {
+		s.lines[i] = line{tag: w.Tags[i], valid: w.Valid[i], dirty: w.Dirty[i], io: w.IO[i], stamp: w.Stamps[i]}
+	}
+	s.pstate = nil
+	if len(w.Quota) > 0 {
+		s.pstate = make([]setState, len(w.Quota))
+		for i := range s.pstate {
+			s.pstate[i] = setState{
+				quota: w.Quota[i], lastAdapt: w.LastAdapt[i],
+				occupCycles: w.OccupCycles[i], lastUpd: w.LastUpd[i], hasIO: w.HasIO[i],
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,86 @@
+package chase
+
+import "repro/internal/stats"
+
+// ClassConfusion is one probe class's confusion-matrix row against the
+// alignment of an observed stream to the sent stream. TruePos counts
+// aligned positions where the class was sent and observed; FalsePos
+// counts observations of the class that were not sent there (a
+// substitution's wrong side, or a pure insertion — background packets
+// read as victim symbols); FalseNeg counts sent symbols of the class the
+// chase missed or misread.
+type ClassConfusion struct {
+	TruePos, FalsePos, FalseNeg int
+	// Sent is how many symbols of the class the sender emitted — the
+	// normalizer for per-class rates.
+	Sent int
+}
+
+// TruePosRate is TruePos normalized by the class's sent count (0 when
+// the class was never sent).
+func (c ClassConfusion) TruePosRate() float64 {
+	if c.Sent == 0 {
+		return 0
+	}
+	return float64(c.TruePos) / float64(c.Sent)
+}
+
+// FalsePosRate is FalsePos normalized by the class's sent count. It may
+// exceed 1 under heavy insertion (more spurious observations of the
+// class than real ones) — exactly the regime where plain accuracy has
+// saturated at its floor, which is what makes the confusion split a
+// longer-range measurement than the accuracy curve.
+func (c ClassConfusion) FalsePosRate() float64 {
+	if c.Sent == 0 {
+		return 0
+	}
+	return float64(c.FalsePos) / float64(c.Sent)
+}
+
+// Confusion aligns an observed symbol stream against the sent one
+// (minimal edit alignment, deterministic tie-breaks) and splits the
+// outcome per class. Where the scalar accuracy 1 - Levenshtein/len
+// floors at chance once classification collapses, the per-class
+// true-positive and false-positive counts keep moving: true positives
+// keep falling toward zero and false positives keep growing with
+// insertion pressure, so sensitivity curves stay informative past the
+// accuracy floor.
+func Confusion(sent, observed []int) map[int]ClassConfusion {
+	return ConfusionFromSteps(sent, observed, stats.Align(sent, observed))
+}
+
+// ConfusionFromSteps is Confusion over an already-computed alignment of
+// observed against sent, for callers that derive several metrics from
+// one stats.Align pass.
+func ConfusionFromSteps(sent, observed []int, steps []stats.AlignStep) map[int]ClassConfusion {
+	out := map[int]ClassConfusion{}
+	for _, c := range sent {
+		e := out[c]
+		e.Sent++
+		out[c] = e
+	}
+	for _, step := range steps {
+		switch step.Op {
+		case stats.OpMatch:
+			e := out[sent[step.I]]
+			e.TruePos++
+			out[sent[step.I]] = e
+		case stats.OpSubstitute:
+			e := out[sent[step.I]]
+			e.FalseNeg++
+			out[sent[step.I]] = e
+			o := out[observed[step.J]]
+			o.FalsePos++
+			out[observed[step.J]] = o
+		case stats.OpDelete:
+			e := out[sent[step.I]]
+			e.FalseNeg++
+			out[sent[step.I]] = e
+		case stats.OpInsert:
+			o := out[observed[step.J]]
+			o.FalsePos++
+			out[observed[step.J]] = o
+		}
+	}
+	return out
+}

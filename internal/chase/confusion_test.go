@@ -1,0 +1,96 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	// sent 2 4 2 4, observed 2 2 2: one match per class boundary case.
+	sent := []int{2, 4, 2, 4}
+	obs := []int{2, 2, 2}
+	conf := Confusion(sent, obs)
+	c2, c4 := conf[2], conf[4]
+	if c2.Sent != 2 || c4.Sent != 2 {
+		t.Fatalf("sent counts wrong: %+v %+v", c2, c4)
+	}
+	// Total true positives equal the alignment's matches; every sent
+	// symbol is either a TP or FN of its class.
+	if c2.TruePos+c2.FalseNeg != c2.Sent || c4.TruePos+c4.FalseNeg != c4.Sent {
+		t.Errorf("TP+FN must cover sent per class: %+v %+v", c2, c4)
+	}
+	// A class never observed has no false positives.
+	if c4.FalsePos != 0 {
+		t.Errorf("class 4 was never observed, FalsePos = %d", c4.FalsePos)
+	}
+	// 4s misread as 2s surface as class-2 false positives.
+	if c2.FalsePos == 0 {
+		t.Error("misread 4s must count as class-2 false positives")
+	}
+}
+
+func TestConfusionPerfectAndEmpty(t *testing.T) {
+	sent := []int{2, 4, 2}
+	conf := Confusion(sent, sent)
+	for cls, c := range conf {
+		if c.TruePos != c.Sent || c.FalsePos != 0 || c.FalseNeg != 0 {
+			t.Errorf("perfect observation: class %d = %+v", cls, c)
+		}
+		if c.TruePosRate() != 1 || c.FalsePosRate() != 0 {
+			t.Errorf("perfect rates: class %d = %v/%v", cls, c.TruePosRate(), c.FalsePosRate())
+		}
+	}
+	conf = Confusion(sent, nil)
+	for cls, c := range conf {
+		if c.TruePos != 0 || c.FalseNeg != c.Sent {
+			t.Errorf("empty observation: class %d = %+v", cls, c)
+		}
+	}
+	// Pure insertions: everything observed is a false positive; rates are
+	// zero-guarded for never-sent classes.
+	conf = Confusion(nil, []int{3, 3})
+	if c := conf[3]; c.FalsePos != 2 || c.Sent != 0 || c.FalsePosRate() != 0 {
+		t.Errorf("pure insertion: %+v rate %v", c, c.FalsePosRate())
+	}
+}
+
+// TestConfusionConservation: over random streams, per-class counts must
+// tie out against the alignment totals — every sent symbol is TP or FN,
+// and every observed symbol is TP or FP.
+func TestConfusionConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		sent := make([]int, rng.Intn(30))
+		obs := make([]int, rng.Intn(30))
+		for i := range sent {
+			sent[i] = 2 + 2*rng.Intn(2)
+		}
+		for i := range obs {
+			obs[i] = 2 + 2*rng.Intn(2)
+		}
+		conf := Confusion(sent, obs)
+		var tp, fp, fn, sentN int
+		for _, c := range conf {
+			tp += c.TruePos
+			fp += c.FalsePos
+			fn += c.FalseNeg
+			sentN += c.Sent
+		}
+		if sentN != len(sent) {
+			t.Fatalf("trial %d: sent coverage %d != %d", trial, sentN, len(sent))
+		}
+		if tp+fn != len(sent) {
+			t.Fatalf("trial %d: TP+FN = %d, want %d", trial, tp+fn, len(sent))
+		}
+		if tp+fp != len(obs) {
+			t.Fatalf("trial %d: TP+FP = %d, want %d", trial, tp+fp, len(obs))
+		}
+		// Consistency with the scalar decomposition: FN = deletions +
+		// substitutions, FP = insertions + substitutions.
+		ins, del, sub := Decompose(sent, obs)
+		if fn != del+sub || fp != ins+sub {
+			t.Fatalf("trial %d: confusion (fp=%d fn=%d) inconsistent with ops (i=%d d=%d s=%d)",
+				trial, fp, fn, ins, del, sub)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package defense
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/nic"
+	"repro/internal/perfsim"
+	"repro/internal/testbed"
+)
+
+// TestRegistryRoundTrip: every registered defense must be recoverable by
+// its own name, as the same value — the property that lets reports,
+// sweep-cell labels, and CLI arguments all use names as identities.
+func TestRegistryRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range All() {
+		if seen[d.Name()] {
+			t.Fatalf("duplicate registry name %q", d.Name())
+		}
+		seen[d.Name()] = true
+		got, ok := ByName(d.Name())
+		if !ok {
+			t.Fatalf("ByName(%q) not found", d.Name())
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("ByName(%q) = %#v, want %#v", d.Name(), got, d)
+		}
+	}
+	if _, ok := ByName("definitely-not-registered"); ok {
+		t.Error("ByName must reject unknown names")
+	}
+	if got, want := len(Names()), len(All()); got != want {
+		t.Errorf("Names() has %d entries, registry %d", got, want)
+	}
+}
+
+// TestStackFingerprintCanonicalized: the fingerprint of a Stack must not
+// depend on layer order — random permutations of the same layers must
+// produce identical fingerprints (they prepare interchangeable machines),
+// while the name preserves application order.
+func TestStackFingerprintCanonicalized(t *testing.T) {
+	layers := []Defense{
+		AdaptivePartitioning{},
+		TimerCoarsening{Jitter: 64},
+		RingRandomization{Interval: 1_000},
+		DisableDDIO{},
+	}
+	want := NewStack(layers...).Fingerprint()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		perm := make([]Defense, len(layers))
+		for i, j := range rng.Perm(len(layers)) {
+			perm[i] = layers[j]
+		}
+		s := NewStack(perm...)
+		if got := s.Fingerprint(); got != want {
+			t.Fatalf("permutation %d: fingerprint %q != %q", trial, got, want)
+		}
+	}
+	// Different layer sets must not collide.
+	if NewStack(layers[:2]...).Fingerprint() == want {
+		t.Error("subset stack collides with full stack")
+	}
+	// Nested stacks flatten to the same canonical fingerprint.
+	nested := NewStack(NewStack(layers[0], layers[1]), NewStack(layers[2], layers[3]))
+	if got := nested.Fingerprint(); got != want {
+		t.Errorf("nested stack fingerprint %q != flat %q", got, want)
+	}
+}
+
+// TestStackFingerprintPreservesConflictingOrder: two layers of the same
+// type write the same option fields (last Apply wins), so stacks that
+// differ only in their relative order prepare different machines and
+// must not share a fingerprint — canonicalization is only sound across
+// commuting (distinct-type) layers.
+func TestStackFingerprintPreservesConflictingOrder(t *testing.T) {
+	a := NewStack(TimerCoarsening{Jitter: 32}, TimerCoarsening{Jitter: 64})
+	b := NewStack(TimerCoarsening{Jitter: 64}, TimerCoarsening{Jitter: 32})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("conflicting same-type layers in different orders must not share a fingerprint")
+	}
+	var oa, ob testbed.Options
+	a.Apply(&oa)
+	b.Apply(&ob)
+	if oa.TimerNoise == ob.TimerNoise {
+		t.Fatal("test premise broken: the two stacks should produce different machines")
+	}
+	// Commuting padding around the conflict must still canonicalize.
+	c := NewStack(DisableDDIO{}, TimerCoarsening{Jitter: 32}, TimerCoarsening{Jitter: 64})
+	d := NewStack(TimerCoarsening{Jitter: 32}, TimerCoarsening{Jitter: 64}, DisableDDIO{})
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Error("distinct-type layers must still commute in the fingerprint")
+	}
+
+	// Hand-built literals bypass NewStack's flattening; Fingerprint must
+	// flatten to leaves itself, or a nested conflicting layer would hide
+	// inside an opaque "Stack" group and alias a different machine.
+	e := Stack{Layers: []Defense{TimerCoarsening{Jitter: 32}, Stack{Layers: []Defense{TimerCoarsening{Jitter: 64}}}}}
+	f := Stack{Layers: []Defense{Stack{Layers: []Defense{TimerCoarsening{Jitter: 64}}}, TimerCoarsening{Jitter: 32}}}
+	if e.Fingerprint() == f.Fingerprint() {
+		t.Error("nested conflicting layers in different orders must not share a fingerprint")
+	}
+	var oe, of testbed.Options
+	e.Apply(&oe)
+	f.Apply(&of)
+	if oe.TimerNoise == of.TimerNoise {
+		t.Fatal("test premise broken: nested stacks should produce different machines")
+	}
+}
+
+// TestApplySemantics pins what each defense does to the machine options.
+func TestApplySemantics(t *testing.T) {
+	base := func() testbed.Options { return testbed.DefaultOptions(1) }
+
+	o := base()
+	NoDefense{}.Apply(&o)
+	if !reflect.DeepEqual(o, base()) {
+		t.Error("NoDefense must not change options")
+	}
+
+	o = base()
+	DisableDDIO{}.Apply(&o)
+	if o.Cache.DDIO {
+		t.Error("DisableDDIO left DDIO on")
+	}
+
+	o = base()
+	RingRandomization{}.Apply(&o)
+	if o.NIC.Randomize != nic.RandomizeFull {
+		t.Error("full randomization not installed")
+	}
+	o = base()
+	RingRandomization{Interval: 10_000}.Apply(&o)
+	if o.NIC.Randomize != nic.RandomizePeriodic || o.NIC.RandomizeInterval != 10_000 {
+		t.Error("periodic randomization not installed")
+	}
+
+	o = base()
+	TimerCoarsening{Jitter: 99}.Apply(&o)
+	if o.TimerNoise != 99 {
+		t.Error("timer coarsening not installed")
+	}
+
+	o = base()
+	AdaptivePartitioning{}.Apply(&o)
+	if o.Cache.Partition == nil || *o.Cache.Partition != *cache.DefaultPartitionConfig() {
+		t.Error("partition defense not installed with default config")
+	}
+	// Apply must copy the config, never alias the default or the
+	// defense's own pointer.
+	shared := cache.DefaultPartitionConfig()
+	d := AdaptivePartitioning{Config: shared}
+	o = base()
+	d.Apply(&o)
+	o.Cache.Partition.Period = 1
+	if shared.Period == 1 {
+		t.Error("Apply aliased the caller's partition config")
+	}
+
+	o = base()
+	NewStack(DisableDDIO{}, TimerCoarsening{Jitter: 31}).Apply(&o)
+	if o.Cache.DDIO || o.TimerNoise != 31 {
+		t.Error("stack did not apply every layer")
+	}
+}
+
+// TestPerfSchemes pins the cost-axis mapping, including the stack's
+// "dominant cost" rule.
+func TestPerfSchemes(t *testing.T) {
+	cases := []struct {
+		d    Defense
+		want perfsim.Scheme
+	}{
+		{NoDefense{}, perfsim.SchemeDDIO},
+		{DisableDDIO{}, perfsim.SchemeNoDDIO},
+		{RingRandomization{}, perfsim.SchemeFullRandom},
+		{RingRandomization{Interval: 1_000}, perfsim.SchemePartial1k},
+		{RingRandomization{Interval: 10_000}, perfsim.SchemePartial10k},
+		{TimerCoarsening{Jitter: 64}, perfsim.SchemeDDIO},
+		{AdaptivePartitioning{}, perfsim.SchemeAdaptive},
+		{NewStack(TimerCoarsening{Jitter: 64}, AdaptivePartitioning{}), perfsim.SchemeAdaptive},
+		{NewStack(AdaptivePartitioning{}, RingRandomization{}), perfsim.SchemeFullRandom},
+	}
+	for _, c := range cases {
+		if got := c.d.PerfScheme(); got != c.want {
+			t.Errorf("%s: PerfScheme = %v, want %v", c.d.Name(), got, c.want)
+		}
+	}
+}
+
+// TestRegistryMachinesBuild: every registered defense must produce a
+// buildable demo-scale machine.
+func TestRegistryMachinesBuild(t *testing.T) {
+	for _, d := range All() {
+		opts := testbed.DefaultOptions(1)
+		opts.Cache = cache.ScaledConfig(2, 2048, 8)
+		opts.NIC.RingSize = 64
+		d.Apply(&opts)
+		if err := opts.Cache.Validate(); err != nil {
+			t.Errorf("%s: invalid cache config: %v", d.Name(), err)
+		}
+		if _, err := testbed.New(opts); err != nil {
+			t.Errorf("%s: testbed build failed: %v", d.Name(), err)
+		}
+	}
+}
+
+// TestNamesAreSlugSafe: registry names feed metric-name slugs and cell
+// keys; keep them lowercase with no spaces or commas.
+func TestNamesAreSlugSafe(t *testing.T) {
+	for _, n := range Names() {
+		if n == "" || n != strings.ToLower(n) || strings.ContainsAny(n, " ,=") {
+			t.Errorf("registry name %q is not slug/key safe", n)
+		}
+	}
+}

@@ -1,10 +1,16 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/probe"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -93,12 +99,39 @@ func (ctx PrepareCtx) NewArtifact() *Artifact {
 // the machine's offline fingerprint, the scale, the artifact root, and
 // the machine seed, so only genuinely interchangeable machines collide.
 func (ctx PrepareCtx) AddRig(a *Artifact, label string, opts testbed.Options) error {
+	return ctx.AddRigTagged(a, label, opts, "")
+}
+
+// AddSpecRig prepares (or fetches) the machine a scenario spec
+// describes, under the given machine seed. This is the only correct
+// entry point for defended specs: the defense tag is derived from the
+// spec here, so a call site cannot forget it and silently share a
+// timer-coarsened machine with an undefended one (TimerNoise is
+// invisible to the option fingerprint). Plain AddRig remains for
+// defense-free option structs.
+func (ctx PrepareCtx) AddSpecRig(a *Artifact, label string, spec scenario.Spec, seed int64) error {
+	return ctx.AddRigTagged(a, label, spec.Options(seed), spec.DefenseTag())
+}
+
+// AddRigTagged is AddRig with an extra content-address component. It
+// exists for machine variants whose difference is invisible to
+// testbed.Options.OfflineFingerprint: a timer-coarsening defense changes
+// only the online-classified TimerNoise knob, yet the coarse timer is in
+// force while the offline phase calibrates and builds eviction sets, so
+// its prepared machines must never be shared with undefended ones. The
+// caller passes the variant's canonical tag (scenario.Spec.DefenseTag,
+// i.e. the defense's Fingerprint); "" degrades to plain AddRig. Prefer
+// AddSpecRig, which derives the tag and cannot be miscalled.
+func (ctx PrepareCtx) AddRigTagged(a *Artifact, label string, opts testbed.Options, tag string) error {
 	build := func() (*RigArtifact, error) { return buildRigArtifact(opts) }
 	var ra *RigArtifact
 	var err error
 	if ctx.Store != nil {
 		key := fmt.Sprintf("%s|scale=%s|root=%d|seed=%d",
 			opts.OfflineFingerprint(), ctx.Scale, ctx.Seed, opts.Seed)
+		if tag != "" {
+			key += "|defense=" + tag
+		}
 		ra, err = ctx.Store.rig(key, build)
 	} else {
 		ra, err = build()
@@ -172,14 +205,19 @@ func (a *Artifact) rig(label string, ctx MeasureCtx) (*attackRig, error) {
 	return &attackRig{tb: tb, spy: spy, groups: groups, ccfg: tb.Cache().Config()}, nil
 }
 
-// ArtifactStore is the content-addressed in-memory cache of prepared
-// machines a warm runner shares across trials and sweep cells. Concurrent
-// requests for the same key build once; the losers block until the build
-// finishes. Entries live for the store's lifetime (one runner invocation).
+// ArtifactStore is the content-addressed cache of prepared machines a
+// warm runner shares across trials and sweep cells. Concurrent requests
+// for the same key build once; the losers block until the build finishes.
+// In-memory entries live for the store's lifetime (one runner
+// invocation); a store opened with NewDiskArtifactStore additionally
+// persists every entry to disk, content-addressed by the same key, so
+// repeated CLI invocations and CI runs skip offline phases entirely.
 type ArtifactStore struct {
 	mu      sync.Mutex
 	entries map[string]*storeEntry
 	builds  int
+	loads   int
+	dir     string // "" = in-memory only
 }
 
 type storeEntry struct {
@@ -188,12 +226,86 @@ type storeEntry struct {
 	err  error
 }
 
-// NewArtifactStore returns an empty store.
+// NewArtifactStore returns an empty in-memory store.
 func NewArtifactStore() *ArtifactStore {
 	return &ArtifactStore{entries: make(map[string]*storeEntry)}
 }
 
-// rig returns the artifact for key, building it at most once.
+// NewDiskArtifactStore returns a store backed by dir: cache misses check
+// the directory before building, and fresh builds are persisted there.
+// Artifacts are keyed by the same content address as the in-memory map
+// (machine fingerprint, scale, offline root seed, machine seed, defense
+// tag), hashed into a filename, so a disk entry is valid for exactly the
+// machines the in-memory entry would be.
+func NewDiskArtifactStore(dir string) (*ArtifactStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact dir: %w", err)
+	}
+	s := NewArtifactStore()
+	s.dir = dir
+	return s, nil
+}
+
+// artifactFormatVersion is baked into every disk address. Bump it
+// whenever the wire format changes — a snapshotGob field added or
+// removed in any component, a new RigArtifact member — because gob
+// zero-fills missing fields: a stale entry from an older binary would
+// otherwise *decode successfully* into subtly wrong machine state
+// instead of missing the cache and rebuilding.
+const artifactFormatVersion = "packetchasing-artifact/v1"
+
+// rigPath is the disk location for a key: the hex SHA-256 of the
+// version-qualified content address (keys embed config dumps — too long
+// and too hostile for filenames).
+func (s *ArtifactStore) rigPath(key string) string {
+	sum := sha256.Sum256([]byte(artifactFormatVersion + "|" + key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".rig.gob")
+}
+
+// loadRig reads a persisted artifact. Any failure — missing file, corrupt
+// or truncated gob — reports (nil, false): the caller rebuilds and
+// overwrites, so a damaged cache heals instead of wedging every run.
+func (s *ArtifactStore) loadRig(key string) (*RigArtifact, bool) {
+	f, err := os.Open(s.rigPath(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var ra RigArtifact
+	if err := gob.NewDecoder(f).Decode(&ra); err != nil {
+		return nil, false
+	}
+	return &ra, true
+}
+
+// saveRig persists an artifact atomically (temp file + rename), so a
+// crashed or concurrent run never leaves a half-written entry behind.
+// Write failures surface as errors: a user who asked for persistence
+// should not silently lose it.
+func (s *ArtifactStore) saveRig(key string, ra *RigArtifact) error {
+	f, err := os.CreateTemp(s.dir, ".rig-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(ra); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.rigPath(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// rig returns the artifact for key, building it at most once per process
+// (and, with a disk directory, at most once across processes).
 func (s *ArtifactStore) rig(key string, build func() (*RigArtifact, error)) (*RigArtifact, error) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
@@ -203,7 +315,21 @@ func (s *ArtifactStore) rig(key string, build func() (*RigArtifact, error)) (*Ri
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
+		if s.dir != "" {
+			if ra, ok := s.loadRig(key); ok {
+				e.rig = ra
+				s.mu.Lock()
+				s.loads++
+				s.mu.Unlock()
+				return
+			}
+		}
 		e.rig, e.err = build()
+		if e.err == nil && s.dir != "" {
+			if err := s.saveRig(key, e.rig); err != nil {
+				e.rig, e.err = nil, fmt.Errorf("persist artifact: %w", err)
+			}
+		}
 		if e.err == nil {
 			s.mu.Lock()
 			s.builds++
@@ -219,6 +345,14 @@ func (s *ArtifactStore) Builds() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.builds
+}
+
+// DiskLoads reports how many artifacts were served from the disk cache
+// instead of being built.
+func (s *ArtifactStore) DiskLoads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loads
 }
 
 // phasedRun composes a Prepare/Measure pair back into the single-shot

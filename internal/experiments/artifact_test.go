@@ -57,6 +57,41 @@ func TestArtifactStoreKeysSeparateMachines(t *testing.T) {
 	}
 }
 
+// TestDefenseTagKeysSeparateArtifacts: machines that differ only in a
+// defense invisible to the option fingerprint (timer coarsening changes
+// an online-classified knob) must still key separate store entries —
+// their offline phases ran under different conditions, so sharing a
+// clone across the defense boundary would be wrong.
+func TestDefenseTagKeysSeparateArtifacts(t *testing.T) {
+	store := NewArtifactStore()
+	ctx := PrepareCtx{Scale: Demo, Seed: 5, Store: store}
+	opts := machineOptions(Demo, 5)
+
+	art := ctx.NewArtifact()
+	if err := ctx.AddRigTagged(art, "plain", opts, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AddRigTagged(art, "coarse", opts, "timer-coarse-64"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Builds() != 2 {
+		t.Fatalf("builds = %d for two defense variants of one machine shape, want 2", store.Builds())
+	}
+	if art.Rigs["plain"] == art.Rigs["coarse"] {
+		t.Error("tagged variants must not share an artifact")
+	}
+	// Same tag again: cache hit.
+	if err := ctx.AddRigTagged(art, "coarse2", opts, "timer-coarse-64"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Builds() != 2 {
+		t.Fatalf("builds = %d after repeat tagged prepare, want 2", store.Builds())
+	}
+	if art.Rigs["coarse2"] != art.Rigs["coarse"] {
+		t.Error("equal tags must share the cached artifact")
+	}
+}
+
 // TestArtifactStoreConcurrentSingleflight: concurrent prepares of the
 // same machine must block on one build rather than racing several.
 func TestArtifactStoreConcurrentSingleflight(t *testing.T) {

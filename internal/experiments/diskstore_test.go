@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// measureJSON runs fig10's online phase on the artifact and serializes
+// the result — the observable the disk round-trip must preserve exactly.
+func measureJSON(t *testing.T, art *Artifact, seed int64) []byte {
+	t.Helper()
+	res, err := MeasureFig10(MeasureCtx{Scale: Demo, Seed: seed}, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDiskStoreRoundTrip: an artifact persisted by one store and loaded
+// by a fresh store (a new process, as far as the cache is concerned)
+// must skip the offline build and measure byte-identically to the
+// original — the disk format must capture machine snapshots, spy state,
+// and eviction sets exactly.
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := NewDiskArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art1, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 7, Store: s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Builds() != 1 || s1.DiskLoads() != 0 {
+		t.Fatalf("first run: builds=%d loads=%d, want 1/0", s1.Builds(), s1.DiskLoads())
+	}
+	want := measureJSON(t, art1, 7)
+
+	// A second store over the same directory models a fresh invocation.
+	s2, err := NewDiskArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art2, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 7, Store: s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Builds() != 0 || s2.DiskLoads() != 1 {
+		t.Fatalf("second run: builds=%d loads=%d, want 0/1 (must load from disk)", s2.Builds(), s2.DiskLoads())
+	}
+	if got := measureJSON(t, art2, 7); !bytes.Equal(want, got) {
+		t.Errorf("disk-loaded artifact measured differently:\n want %s\n got  %s", want, got)
+	}
+
+	// Different keys must not collide on disk: a different offline seed
+	// builds fresh.
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 8, Store: s2}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Builds() != 1 {
+		t.Fatalf("different seed served from disk: builds=%d, want 1", s2.Builds())
+	}
+}
+
+// TestDiskStoreHealsCorruptEntries: a truncated or garbage cache file
+// must be rebuilt (and overwritten), not wedge every later run.
+func TestDiskStoreHealsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 3, Store: s1}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("expected one cache file, got %d (%v)", len(ents), err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	if err := os.WriteFile(path, []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewDiskArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 3, Store: s2})
+	if err != nil {
+		t.Fatalf("corrupt entry must rebuild, got %v", err)
+	}
+	if s2.Builds() != 1 || s2.DiskLoads() != 0 {
+		t.Fatalf("corrupt entry: builds=%d loads=%d, want 1/0", s2.Builds(), s2.DiskLoads())
+	}
+	if art.Rigs["rig"] == nil {
+		t.Fatal("rebuild produced no artifact")
+	}
+	// The healed entry is decodable again.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var ra RigArtifact
+	if err := gob.NewDecoder(f).Decode(&ra); err != nil {
+		t.Errorf("healed cache file still corrupt: %v", err)
+	}
+}
+
+// TestDiskStoreDefenseVariantsDistinctFiles: two artifacts differing only
+// in the defense tag must land in distinct disk entries.
+func TestDiskStoreDefenseVariantsDistinctFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := PrepareCtx{Scale: Demo, Seed: 5, Store: s}
+	opts := machineOptions(Demo, 5)
+	art := ctx.NewArtifact()
+	if err := ctx.AddRigTagged(art, "plain", opts, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AddRigTagged(art, "coarse", opts, "timer-coarse-64"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("expected 2 distinct cache files for tagged variants, got %d", len(ents))
+	}
+}

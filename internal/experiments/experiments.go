@@ -149,6 +149,7 @@ func All() []Experiment {
 		{ID: "fig14", Short: "Nginx throughput: adaptive partitioning vs DDIO", Run: Fig14},
 		{ID: "fig15", Short: "memory traffic and LLC miss rate by scheme", Run: Fig15},
 		{ID: "fig16", Short: "HTTP tail latency by defense scheme", Run: Fig16},
+		phasedExp("matrix_defense", "attack x defense matrix: leakage vs overhead", PrepareMatrixDefense, MeasureMatrixDefense),
 	}
 }
 

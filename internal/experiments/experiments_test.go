@@ -10,6 +10,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "table1",
 		"fig10", "fig11", "fig12ab", "fig12cd",
 		"fig13", "fingerprint", "table2", "fig14", "fig15", "fig16",
+		"matrix_defense",
 	}
 	all := All()
 	if len(all) != len(want) {

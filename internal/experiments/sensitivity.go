@@ -100,6 +100,19 @@ func Sweeps() []Sweep {
 			},
 			prepareSweepRigs, MeasureSensRingDetect,
 		),
+		phasedSweep(
+			"sens_chase_defense",
+			"chase accuracy vs platform defense",
+			// The defense axis is categorical: registry indices with name
+			// labels, so cell keys read "defense=adaptive-partition".
+			// Every cell has a distinct machine (the defense reshapes it),
+			// so a warm run prepares one artifact per defense rather than
+			// one for the grid — the defense tag keys them apart even for
+			// timer coarsening, which is invisible to the machine
+			// fingerprint.
+			scenario.Grid{scenario.DefenseAxis()},
+			prepareSweepRigs, MeasureSensChaseDefense,
+		),
 	}
 }
 
@@ -145,8 +158,11 @@ func prepareSweepRigs(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error) {
 	spec := full.Offline()
 	art := ctx.NewArtifact()
 	for r := 0; r < sensReps; r++ {
-		opts := spec.Options(sim.DeriveSeed(ctx.Seed, repLabel(r)))
-		if err := ctx.AddRig(art, repLabel(r), opts); err != nil {
+		// AddSpecRig derives the defense tag from the spec, so machines
+		// are keyed per mitigation even when the mitigation is invisible
+		// to the option fingerprint (timer coarsening): clones must never
+		// cross a defense boundary.
+		if err := ctx.AddSpecRig(art, repLabel(r), spec, sim.DeriveSeed(ctx.Seed, repLabel(r))); err != nil {
 			return nil, err
 		}
 	}
@@ -154,24 +170,27 @@ func prepareSweepRigs(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error) {
 }
 
 // sweepClone cuts one repetition's machine from the artifact and applies
-// the cell's online environment (noise rate, timer jitter) to it.
+// the cell's online environment (noise rate, timer jitter, with any
+// defense overrides) to it.
 func sweepClone(art *Artifact, r int, ctx MeasureCtx, spec scenario.Spec) (*attackRig, error) {
 	rig, err := art.rig(repLabel(r), ctx)
 	if err != nil {
 		return nil, err
 	}
-	rig.tb.SetNoiseRate(spec.NoiseRate)
-	rig.tb.SetTimerNoise(spec.TimerNoise)
+	noise, timer := spec.OnlineEnv()
+	rig.tb.SetNoiseRate(noise)
+	rig.tb.SetTimerNoise(timer)
 	return rig, nil
 }
 
-// chaseOutcome scores one chase run: accuracy, sync losses, and the
+// chaseOutcome scores one chase run: accuracy, sync losses, the
 // normalized edit-operation decomposition of the observed stream against
-// the sent stream (per sent symbol).
+// the sent stream (per sent symbol), and the per-class confusion split.
 type chaseOutcome struct {
 	acc           float64
 	outOfSync     float64
 	ins, del, sub float64
+	conf          map[int]chase.ClassConfusion
 }
 
 // chaseAccuracy runs one chase of a known alternating-size stream against
@@ -217,11 +236,14 @@ func chaseAccuracy(rig *attackRig, bg netmodel.Source, frames int) chaseOutcome 
 
 	obs := chaser.Chase(frames)
 	seen := chase.SizeTrace(obs)
-	err := stats.ErrorRate(sent, seen)
+	// One alignment feeds every derived metric: the edit distance (error
+	// rate), its operation decomposition, and the per-class confusion.
+	steps := stats.Align(sent, seen)
+	ins, del, sub := stats.OpsFromSteps(steps)
+	err := float64(ins+del+sub) / float64(len(sent))
 	if err > 1 {
 		err = 1
 	}
-	ins, del, sub := chase.Decompose(sent, seen)
 	n := float64(len(sent))
 	return chaseOutcome{
 		acc:       1 - err,
@@ -229,8 +251,25 @@ func chaseAccuracy(rig *attackRig, bg netmodel.Source, frames int) chaseOutcome 
 		ins:       float64(ins) / n,
 		del:       float64(del) / n,
 		sub:       float64(sub) / n,
+		conf:      chase.ConfusionFromSteps(sent, seen, steps),
 	}
 }
+
+// chaseFrames is the victim-stream length for defense-axis chase
+// measurements: three full ring revolutions. The ring-randomization
+// defenses only reallocate a descriptor's buffer after it has been used,
+// so a single-revolution stream (the 64-frame measurement the
+// environment sweeps use) can never observe them — every packet still
+// lands on its offline-learned page. Three passes let the ring churn
+// under the chaser the way a long-running victim would see it.
+func chaseFrames(rig *attackRig) int {
+	return 3 * rig.tb.Options().NIC.RingSize
+}
+
+// chaseClasses are the size classes the alternating chase stream sends
+// (the driver prefetch lifts 1-block packets to class 2; see
+// chaseAccuracy), in metric order.
+var chaseClasses = []int{2, 4}
 
 // MeasureSensChaseNoise measures online-chase accuracy as ambient cache
 // noise rises — the curve behind the paper's claim that the chase
@@ -241,6 +280,8 @@ func chaseAccuracy(rig *attackRig, bg netmodel.Source, frames int) chaseOutcome 
 func MeasureSensChaseNoise(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error) {
 	spec := cellSpec(ctx.Scale, cell)
 	var accs, syncs []float64
+	tp := map[int][]float64{}
+	fp := map[int][]float64{}
 	for r := 0; r < sensReps; r++ {
 		rig, err := sweepClone(art, r, ctx, spec)
 		if err != nil {
@@ -249,18 +290,70 @@ func MeasureSensChaseNoise(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (R
 		out := chaseAccuracy(rig, nil, 64)
 		accs = append(accs, out.acc)
 		syncs = append(syncs, out.outOfSync)
+		for _, c := range chaseClasses {
+			tp[c] = append(tp[c], out.conf[c].TruePosRate())
+			fp[c] = append(fp[c], out.conf[c].FalsePosRate())
+		}
 	}
 	accSum := stats.Summarize(accs)
+	header := []string{"noise (accesses/s)", "accuracy", "out-of-sync"}
+	for _, c := range chaseClasses {
+		header = append(header, fmt.Sprintf("c%d tp/fp", c))
+	}
 	res := Result{
 		ID:     "sens_chase_noise",
 		Title:  "chase accuracy vs background cache noise",
-		Header: []string{"noise (accesses/s)", "accuracy", "out-of-sync"},
+		Header: header,
 	}
 	noise, _ := cell.Value(scenario.AxisNoiseRate)
-	res.Rows = append(res.Rows, []string{
+	row := []string{
 		fmt.Sprintf("%.0f", noise), pct(accSum.Mean), f1(stats.Summarize(syncs).Mean),
-	})
+	}
+	for _, c := range chaseClasses {
+		row = append(row, fmt.Sprintf("%s/%s",
+			f2(stats.Summarize(tp[c]).Mean), f2(stats.Summarize(fp[c]).Mean)))
+	}
+	res.Rows = append(res.Rows, row)
 	res.AddMetric("chase_accuracy", "fraction", accSum.Mean)
+	res.AddMetric("out_of_sync", "events", stats.Summarize(syncs).Mean)
+	// Per-class confusion extends the curve past the two-class accuracy
+	// floor (~0.5): once classification collapses, accuracy saturates but
+	// true positives keep falling and false positives keep growing with
+	// insertion pressure.
+	for _, c := range chaseClasses {
+		res.AddMetric(fmt.Sprintf("class%d_true_pos", c), "per-sent-symbol", stats.Summarize(tp[c]).Mean)
+		res.AddMetric(fmt.Sprintf("class%d_false_pos", c), "per-sent-symbol", stats.Summarize(fp[c]).Mean)
+	}
+	return res, nil
+}
+
+// MeasureSensChaseDefense measures online-chase accuracy under each
+// platform defense — the leakage half of the paper's Table 2 / §VI-§VII
+// discussion as a sweepable curve. The stock machine anchors the top;
+// adaptive partitioning should push accuracy to the two-class chance
+// floor (the spy no longer sees I/O evictions at all).
+func MeasureSensChaseDefense(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error) {
+	spec := cellSpec(ctx.Scale, cell)
+	var accs, syncs []float64
+	for r := 0; r < sensReps; r++ {
+		rig, err := sweepClone(art, r, ctx, spec)
+		if err != nil {
+			return Result{}, err
+		}
+		out := chaseAccuracy(rig, nil, chaseFrames(rig))
+		accs = append(accs, out.acc)
+		syncs = append(syncs, out.outOfSync)
+	}
+	name, _ := cell.Label(scenario.AxisDefense)
+	res := Result{
+		ID:     "sens_chase_defense",
+		Title:  "chase accuracy vs platform defense",
+		Header: []string{"defense", "accuracy", "out-of-sync"},
+	}
+	res.Rows = append(res.Rows, []string{
+		name, pct(stats.Summarize(accs).Mean), f1(stats.Summarize(syncs).Mean),
+	})
+	res.AddMetric("chase_accuracy", "fraction", stats.Summarize(accs).Mean)
 	res.AddMetric("out_of_sync", "events", stats.Summarize(syncs).Mean)
 	return res, nil
 }

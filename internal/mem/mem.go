@@ -12,7 +12,10 @@
 package mem
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -102,6 +105,49 @@ func (al *Allocator) Snapshot() *AllocatorState {
 		used:     used,
 		numPages: al.numPages,
 	}
+}
+
+// allocatorStateGob mirrors AllocatorState with exported fields for the
+// disk-backed artifact store. Free-list order is preserved exactly (it
+// determines every future allocation); the used set is sorted for a
+// canonical encoding.
+type allocatorStateGob struct {
+	Free     []uint64
+	Used     []uint64
+	NumPages uint64
+}
+
+// GobEncode serializes the allocator state (disk-backed warm starts).
+func (st *AllocatorState) GobEncode() ([]byte, error) {
+	w := allocatorStateGob{
+		Free:     st.free,
+		Used:     make([]uint64, 0, len(st.used)),
+		NumPages: st.numPages,
+	}
+	for pfn := range st.used {
+		w.Used = append(w.Used, pfn)
+	}
+	sort.Slice(w.Used, func(i, j int) bool { return w.Used[i] < w.Used[j] })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds allocator state from its serialized form.
+func (st *AllocatorState) GobDecode(b []byte) error {
+	var w allocatorStateGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	st.free = w.Free
+	st.numPages = w.NumPages
+	st.used = make(map[uint64]bool, len(w.Used))
+	for _, pfn := range w.Used {
+		st.used[pfn] = true
+	}
+	return nil
 }
 
 // Restore overwrites the allocator's state from a snapshot. It panics on a

@@ -1,10 +1,13 @@
 package nic
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
 
@@ -87,6 +90,75 @@ func (n *NIC) Restore(s *Snapshot) {
 	default:
 		n.rng.Restore(*s.rng)
 	}
+}
+
+// descriptorGob and pendingGob mirror the unexported ring structs with
+// exported fields for the disk-backed artifact store.
+type descriptorGob struct {
+	Page   mem.Addr
+	Offset uint32
+}
+
+type pendingGob struct {
+	Frame   netmodel.Frame
+	DescIdx int
+	Buf     mem.Addr
+	DueAt   uint64
+}
+
+type snapshotGob struct {
+	Ring     []descriptorGob
+	Head     int
+	Queue    []pendingGob
+	SKB      []mem.Addr
+	SKBIdx   int
+	DescRing mem.Addr
+	SincePct int
+	Stats    Stats
+	RNG      *sim.RNGState
+}
+
+// GobEncode serializes the NIC snapshot (disk-backed warm starts).
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotGob{
+		Head: s.head, SKB: s.skb, SKBIdx: s.skbIdx,
+		DescRing: s.descRing, SincePct: s.sincePct, Stats: s.stats, RNG: s.rng,
+	}
+	w.Ring = make([]descriptorGob, len(s.ring))
+	for i, d := range s.ring {
+		w.Ring[i] = descriptorGob{Page: d.page, Offset: d.offset}
+	}
+	w.Queue = make([]pendingGob, len(s.queue))
+	for i, p := range s.queue {
+		w.Queue[i] = pendingGob{Frame: p.frame, DescIdx: p.descIdx, Buf: p.buf, DueAt: p.dueAt}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds a NIC snapshot from its serialized form.
+func (s *Snapshot) GobDecode(b []byte) error {
+	var w snapshotGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	s.head, s.skb, s.skbIdx = w.Head, w.SKB, w.SKBIdx
+	s.descRing, s.sincePct, s.stats, s.rng = w.DescRing, w.SincePct, w.Stats, w.RNG
+	s.ring = make([]descriptor, len(w.Ring))
+	for i, d := range w.Ring {
+		s.ring[i] = descriptor{page: d.Page, offset: d.Offset}
+	}
+	s.queue = nil
+	if len(w.Queue) > 0 {
+		s.queue = make([]pending, len(w.Queue))
+		for i, p := range w.Queue {
+			s.queue[i] = pending{frame: p.Frame, descIdx: p.DescIdx, buf: p.Buf, dueAt: p.DueAt}
+		}
+	}
+	return nil
 }
 
 // ReseedRNG re-derives the driver's RNG stream from a fresh seed — the

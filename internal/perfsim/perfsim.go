@@ -19,6 +19,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/nic"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Scheme is a defense configuration under evaluation (the five lines of
@@ -136,6 +137,17 @@ func NewEnv(scheme Scheme, llcBytes int, seed int64) (*Env, error) {
 	}, nil
 }
 
+// RunNginx builds an environment for the scheme and runs the Nginx
+// workload — the shared cost-axis measurement of Fig 16, the defense
+// examples, and the matrix_defense experiment.
+func RunNginx(scheme Scheme, llcBytes int, seed int64, cfg NginxConfig) (Metrics, error) {
+	env, err := NewEnv(scheme, llcBytes, seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Nginx(env, cfg), nil
+}
+
 // Metrics aggregates a workload run.
 type Metrics struct {
 	Workload string
@@ -147,6 +159,21 @@ type Metrics struct {
 	Requests uint64
 	// Latencies are per-request response times in cycles (Nginx only).
 	Latencies []uint64
+}
+
+// LatencyPercentile returns the p-th percentile of the per-request
+// response times in cycles (0 when the workload records none) — the
+// shared cost-axis reading of Fig 16, the defense matrix, and the
+// defense example.
+func (m Metrics) LatencyPercentile(p float64) float64 {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	lat := make([]float64, len(m.Latencies))
+	for i, l := range m.Latencies {
+		lat[i] = float64(l)
+	}
+	return stats.Percentile(lat, p)
 }
 
 // Throughput returns work units per second of simulated time.

@@ -49,6 +49,26 @@ func TestWarmColdByteIdenticalSweep(t *testing.T) {
 	}
 }
 
+// TestWarmColdByteIdenticalDefenseSweep extends the sweep criterion to a
+// defense axis: cells differ in the machine itself (and, for timer
+// coarsening, only in a knob the machine fingerprint excludes — the
+// defense tag must key the artifacts apart), yet warm and cold runs must
+// still serialize identically.
+func TestWarmColdByteIdenticalDefenseSweep(t *testing.T) {
+	sw, ok := experiments.SweepByID("sens_chase_defense")
+	if !ok {
+		t.Fatal("sens_chase_defense not registered")
+	}
+	sw.Grid = scenario.Grid{scenario.DefenseAxis("none", "timer-coarse-64", "adaptive-partition")}
+	base := Options{Scale: experiments.Demo, Seed: 4, Trials: 1, Parallel: 4}
+	cold := sweepJSON(t, sw, base)
+	warm := base
+	warm.Warm = true
+	if got := sweepJSON(t, sw, warm); !bytes.Equal(cold, got) {
+		t.Error("warm and cold defense-sweep runs serialized differently")
+	}
+}
+
 // TestPhasedTrialZeroMatchesMonolithicRun pins the compatibility
 // contract: through the runner, trial 0 of a phase-split experiment must
 // reproduce the monolithic Run(seed) result exactly (this is what keeps

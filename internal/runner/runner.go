@@ -47,6 +47,12 @@ type Options struct {
 	// same (selection, scale, seed, trials) produce byte-identical
 	// reports; warm is purely a wall-clock optimization.
 	Warm bool
+	// ArtifactDir, when non-empty (warm mode only), backs the artifact
+	// store with a directory: offline artifacts are persisted there,
+	// content-addressed by the same key as the in-memory store, so
+	// repeated invocations skip offline phases entirely. Like Warm, it
+	// never changes report bytes.
+	ArtifactDir string
 	// Progress, when non-nil, receives one line per completed trial
 	// (typically os.Stderr).
 	Progress io.Writer
@@ -69,6 +75,22 @@ func TrialSeed(root int64, expID string, trial int) int64 {
 // golden files pin.
 func OfflineSeed(root int64, expID string) int64 {
 	return TrialSeed(root, expID, 0)
+}
+
+// newStore builds the artifact store the options describe: nil for cold
+// runs, in-memory for plain warm runs, disk-backed when ArtifactDir is
+// set.
+func (o Options) newStore() (*experiments.ArtifactStore, error) {
+	if !o.Warm {
+		if o.ArtifactDir != "" {
+			return nil, fmt.Errorf("runner: artifact dir requires warm mode")
+		}
+		return nil, nil
+	}
+	if o.ArtifactDir != "" {
+		return experiments.NewDiskArtifactStore(o.ArtifactDir)
+	}
+	return experiments.NewArtifactStore(), nil
 }
 
 // trialOutcome is one (experiment, trial) slot of the result matrix.
@@ -146,9 +168,9 @@ func Run(selected []experiments.Experiment, opts Options) (*Report, error) {
 	done := 0
 	total := len(selected) * opts.Trials
 
-	var store *experiments.ArtifactStore
-	if opts.Warm {
-		store = experiments.NewArtifactStore()
+	store, err := opts.newStore()
+	if err != nil {
+		return nil, err
 	}
 
 	for w := 0; w < opts.Parallel; w++ {

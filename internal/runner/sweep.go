@@ -145,9 +145,9 @@ func RunSweep(sw experiments.Sweep, opts Options) (*SweepReport, error) {
 	done := 0
 	total := len(cells) * opts.Trials
 
-	var store *experiments.ArtifactStore
-	if opts.Warm {
-		store = experiments.NewArtifactStore()
+	store, err := opts.newStore()
+	if err != nil {
+		return nil, err
 	}
 
 	for w := 0; w < opts.Parallel; w++ {

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/defense"
+)
+
+// TestDefenseInOptions: a spec's defense must reshape the built machine
+// options, survive Offline() normalization (a platform defense cannot be
+// prepared around), and override the environment knobs in OnlineEnv.
+func TestDefenseInOptions(t *testing.T) {
+	s := Baseline(false).WithDefense(defense.AdaptivePartitioning{})
+	if s.Options(1).Cache.Partition == nil {
+		t.Error("partition defense missing from built options")
+	}
+	if s.Offline().Options(1).Cache.Partition == nil {
+		t.Error("Offline() dropped the defense")
+	}
+
+	tc := Baseline(false).WithDefense(defense.TimerCoarsening{Jitter: 64})
+	if got := tc.Options(1).TimerNoise; got != 64 {
+		t.Errorf("timer defense: built TimerNoise = %d, want 64", got)
+	}
+	// The online environment must carry the defense's override too — a
+	// sweep cell's reference timer value must not silently undo it.
+	if _, timer := tc.Offline().OnlineEnv(); timer != 64 {
+		t.Errorf("OnlineEnv timer = %d under timer defense, want 64", timer)
+	}
+	if noise, timer := Baseline(false).OnlineEnv(); noise != 20_000 || timer != 4 {
+		t.Errorf("undefended OnlineEnv = (%v, %v), want baseline (20000, 4)", noise, timer)
+	}
+}
+
+// TestDefenseFingerprint: specs differing only in a defense must have
+// different fingerprints — even when the defense changes nothing the
+// option fingerprint covers (timer coarsening).
+func TestDefenseFingerprint(t *testing.T) {
+	base := Baseline(false)
+	for _, d := range defense.All() {
+		if _, ok := d.(defense.NoDefense); ok {
+			continue
+		}
+		if got := base.WithDefense(d).Fingerprint(); got == base.Fingerprint() {
+			t.Errorf("defense %s: fingerprint matches the undefended spec", d.Name())
+		}
+	}
+	if base.DefenseTag() != "" {
+		t.Error("undefended spec must have an empty defense tag")
+	}
+	if tag := base.WithDefense(defense.TimerCoarsening{Jitter: 64}).DefenseTag(); tag == "" {
+		t.Error("timer defense must contribute a tag")
+	}
+}
+
+// TestDefenseAxis: the categorical axis must carry registry indices with
+// name labels, render labeled cell keys, and map back onto Spec.Defense
+// through WithCell.
+func TestDefenseAxis(t *testing.T) {
+	ax := DefenseAxis()
+	if len(ax.Values) != len(defense.All()) || len(ax.Labels) != len(ax.Values) {
+		t.Fatalf("full defense axis malformed: %+v", ax)
+	}
+	g := Grid{ax}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := g.Cells()
+	for i, c := range cells {
+		want := AxisDefense + "=" + defense.All()[i].Name()
+		if c.Key() != want {
+			t.Errorf("cell %d key %q, want %q", i, c.Key(), want)
+		}
+		s := Baseline(false).WithCell(c)
+		if s.Defense == nil || s.Defense.Name() != defense.All()[i].Name() {
+			t.Errorf("cell %d: WithCell installed %v", i, s.Defense)
+		}
+		if lbl, ok := c.Label(AxisDefense); !ok || lbl != defense.All()[i].Name() {
+			t.Errorf("cell %d: Label = %q, %v", i, lbl, ok)
+		}
+	}
+
+	sub := DefenseAxis("adaptive-partition", "none")
+	if len(sub.Values) != 2 || sub.Labels[0] != "adaptive-partition" || sub.Labels[1] != "none" {
+		t.Errorf("subset axis malformed: %+v", sub)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown defense name must panic")
+		}
+	}()
+	DefenseAxis("not-a-defense")
+}
+
+// TestLabeledGridValidation: labels must be all-or-nothing per axis.
+func TestLabeledGridValidation(t *testing.T) {
+	g := Grid{{Name: "x", Values: []float64{1, 2}, Labels: []string{"one"}}}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "labels") {
+		t.Errorf("mismatched label count must fail validation, got %v", err)
+	}
+}
+
+// TestMixedLabeledNumericGrid: a labeled axis crossed with a numeric one
+// renders hybrid keys deterministically.
+func TestMixedLabeledNumericGrid(t *testing.T) {
+	g := Grid{
+		DefenseAxis("none", "adaptive-partition"),
+		{Name: AxisNoiseRate, Values: []float64{1000}},
+	}
+	cells := g.Cells()
+	want := []string{
+		"defense=none,noise_rate=1000",
+		"defense=adaptive-partition,noise_rate=1000",
+	}
+	for i, c := range cells {
+		if c.Key() != want[i] {
+			t.Errorf("cell %d key %q, want %q", i, c.Key(), want[i])
+		}
+	}
+	if _, ok := cells[0].Label(AxisNoiseRate); ok {
+		t.Error("numeric axis must not report a label")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/defense"
 )
 
 // Axis is one swept scenario parameter: a name and the values it takes.
@@ -12,6 +14,12 @@ import (
 type Axis struct {
 	Name   string    `json:"name"`
 	Values []float64 `json:"values"`
+	// Labels, when non-empty, names each value of a categorical axis
+	// (len(Labels) == len(Values)); cell keys render the label instead of
+	// the number, so a defense axis reads "defense=adaptive-partition"
+	// rather than "defense=6". Values remain the numeric coordinates
+	// (registry indices for the defense axis) in Coords and JSON.
+	Labels []string `json:"labels,omitempty"`
 }
 
 // Grid is an ordered list of axes whose cartesian product defines the
@@ -35,6 +43,10 @@ func (g Grid) Validate() error {
 		if len(a.Values) == 0 {
 			return fmt.Errorf("grid: axis %q has no values", a.Name)
 		}
+		if len(a.Labels) > 0 && len(a.Labels) != len(a.Values) {
+			return fmt.Errorf("grid: axis %q has %d labels for %d values",
+				a.Name, len(a.Labels), len(a.Values))
+		}
 	}
 	return nil
 }
@@ -56,14 +68,27 @@ func (g Grid) Cells() []Cell {
 	for i, a := range g {
 		axes[i] = a.Name
 	}
+	labeled := false
+	for _, a := range g {
+		if len(a.Labels) > 0 {
+			labeled = true
+		}
+	}
 	cells := make([]Cell, 0, g.Size())
 	idx := make([]int, len(g))
 	for {
 		values := make([]float64, len(g))
+		var labels []string
+		if labeled {
+			labels = make([]string, len(g))
+		}
 		for i, a := range g {
 			values[i] = a.Values[idx[i]]
+			if len(a.Labels) > 0 {
+				labels[i] = a.Labels[idx[i]]
+			}
 		}
-		cells = append(cells, Cell{axes: axes, values: values})
+		cells = append(cells, Cell{axes: axes, values: values, labels: labels})
 		i := len(g) - 1
 		for ; i >= 0; i-- {
 			idx[i]++
@@ -78,10 +103,12 @@ func (g Grid) Cells() []Cell {
 	}
 }
 
-// Cell is one point of a grid: an ordered list of (axis, value) pairs.
+// Cell is one point of a grid: an ordered list of (axis, value) pairs,
+// optionally with a display label per categorical coordinate.
 type Cell struct {
 	axes   []string
 	values []float64
+	labels []string // empty, or parallel to values; "" = numeric axis
 }
 
 // NewCell builds a cell directly (tests and hand-rolled sweeps).
@@ -89,10 +116,18 @@ func NewCell(axes []string, values []float64) Cell {
 	return Cell{axes: axes, values: values}
 }
 
+// NewLabeledCell builds a cell with per-coordinate labels ("" entries
+// render numerically).
+func NewLabeledCell(axes []string, values []float64, labels []string) Cell {
+	return Cell{axes: axes, values: values, labels: labels}
+}
+
 // Key renders the cell as a stable coordinate string, e.g.
-// "noise_rate=20000,timer_noise=4". Axis order follows the grid, and
-// values use the shortest exact float form, so the key is deterministic
-// and usable as a map key, a report key, and an RNG derivation label.
+// "noise_rate=20000,timer_noise=4" or "defense=adaptive-partition". Axis
+// order follows the grid; numeric values use the shortest exact float
+// form and labeled coordinates use their label, so the key is
+// deterministic and usable as a map key, a report key, and an RNG
+// derivation label.
 func (c Cell) Key() string {
 	var b strings.Builder
 	for i, a := range c.axes {
@@ -101,9 +136,27 @@ func (c Cell) Key() string {
 		}
 		b.WriteString(a)
 		b.WriteByte('=')
-		b.WriteString(strconv.FormatFloat(c.values[i], 'g', -1, 64))
+		if i < len(c.labels) && c.labels[i] != "" {
+			b.WriteString(c.labels[i])
+		} else {
+			b.WriteString(strconv.FormatFloat(c.values[i], 'g', -1, 64))
+		}
 	}
 	return b.String()
+}
+
+// Label returns the cell's label on the named axis ("" and false when the
+// axis is absent or unlabeled).
+func (c Cell) Label(name string) (string, bool) {
+	for i, a := range c.axes {
+		if a == name {
+			if i < len(c.labels) && c.labels[i] != "" {
+				return c.labels[i], true
+			}
+			return "", false
+		}
+	}
+	return "", false
 }
 
 // Value returns the cell's value on the named axis.
@@ -131,7 +184,36 @@ const (
 	AxisNoiseRate  = "noise_rate"
 	AxisTimerNoise = "timer_noise"
 	AxisRingSize   = "ring_size"
+	AxisDefense    = "defense"
 )
+
+// DefenseAxis builds the categorical defense axis: values are defense
+// registry indices, labels are registry names. With no arguments the
+// axis spans the whole registry; otherwise it spans the named defenses
+// in the given order. Unknown names panic — a sweep axis is always
+// assembled from literals, so a typo is a programming error.
+func DefenseAxis(names ...string) Axis {
+	all := defense.All()
+	if len(names) == 0 {
+		names = defense.Names()
+	}
+	ax := Axis{Name: AxisDefense}
+	for _, n := range names {
+		idx := -1
+		for i, d := range all {
+			if d.Name() == n {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic(fmt.Sprintf("scenario: unknown defense %q in axis", n))
+		}
+		ax.Values = append(ax.Values, float64(idx))
+		ax.Labels = append(ax.Labels, n)
+	}
+	return ax
+}
 
 // WithCell returns a copy of the spec with the cell's well-known axes
 // applied. Axes the spec does not model (e.g. a sweep-private packet-rate
@@ -145,6 +227,14 @@ func (s Spec) WithCell(c Cell) Spec {
 	}
 	if v, ok := c.Value(AxisRingSize); ok {
 		s.RingSize = int(v)
+	}
+	if v, ok := c.Value(AxisDefense); ok {
+		all := defense.All()
+		i := int(v)
+		if i < 0 || i >= len(all) {
+			panic(fmt.Sprintf("scenario: defense axis index %d outside registry (%d defenses)", i, len(all)))
+		}
+		s.Defense = all[i]
 	}
 	return s
 }

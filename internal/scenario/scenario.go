@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/defense"
 	"repro/internal/netmodel"
 	"repro/internal/nic"
 	"repro/internal/sim"
@@ -78,6 +79,35 @@ type Spec struct {
 	// Flows is the scenario's background traffic mix. Experiments add
 	// their own attack stream on top (see BuildTraffic / MixWith).
 	Flows []Flow
+
+	// Defense is the platform mitigation the machine runs under; nil is
+	// the vulnerable stock machine. The defense is applied to the built
+	// Options after every other field — it reshapes the machine for the
+	// offline and online phases alike (a platform defense cannot be
+	// prepared around), survives Offline() normalization, and
+	// participates in Fingerprint(), so warm-start clones never cross a
+	// defense boundary.
+	Defense defense.Defense
+}
+
+// WithDefense returns a copy of the spec running under the given
+// mitigation (nil clears it).
+func (s Spec) WithDefense(d defense.Defense) Spec {
+	s.Defense = d
+	return s
+}
+
+// DefenseTag is the content-address component the defense contributes to
+// warm-start artifact keys: the defense's canonical fingerprint, or ""
+// for the stock machine. It exists separately from Fingerprint because
+// some defenses (timer coarsening) change only knobs that
+// testbed.Options.OfflineFingerprint deliberately excludes, yet still
+// shape the offline phase.
+func (s Spec) DefenseTag() string {
+	if s.Defense == nil {
+		return ""
+	}
+	return s.Defense.Fingerprint()
 }
 
 // Baseline returns the machine the experiment registry has always run at:
@@ -252,7 +282,23 @@ func (s Spec) Options(seed int64) testbed.Options {
 	}
 	opts.NoiseRate = s.NoiseRate
 	opts.TimerNoise = s.TimerNoise
+	if s.Defense != nil {
+		s.Defense.Apply(&opts)
+	}
 	return opts
+}
+
+// OnlineEnv returns the environment knobs the online (measurement) phase
+// runs under: the spec's noise rate and timer jitter with the defense's
+// overrides applied. Clones restored from an offline snapshot apply these
+// rather than the raw spec fields, so a timer-coarsening defense is not
+// silently undone by a sweep cell's reference timer value.
+func (s Spec) OnlineEnv() (noiseRate float64, timerNoise uint64) {
+	opts := testbed.Options{NoiseRate: s.NoiseRate, TimerNoise: s.TimerNoise}
+	if s.Defense != nil {
+		s.Defense.Apply(&opts)
+	}
+	return opts.NoiseRate, opts.TimerNoise
 }
 
 // Reference environment the offline phase of a phase-split experiment
@@ -276,12 +322,19 @@ func (s Spec) Offline() Spec {
 }
 
 // Fingerprint canonically identifies the offline-relevant machine shape
-// this spec describes — geometry, driver configuration, and memory size,
-// with defaults resolved — and deliberately ignores the name, the
-// environment knobs (NoiseRate, TimerNoise), and the traffic mix. It is
-// the content-address half of the offline artifact store's key.
+// this spec describes — geometry, driver configuration, memory size, and
+// the platform defense, with defaults resolved — and deliberately ignores
+// the name, the environment knobs (NoiseRate, TimerNoise), and the
+// traffic mix. It is the content-address half of the offline artifact
+// store's key. The defense tag rides alongside the option fingerprint
+// because a defense may shape the offline phase through knobs the option
+// fingerprint excludes (see DefenseTag).
 func (s Spec) Fingerprint() string {
-	return s.Options(0).OfflineFingerprint()
+	fp := s.Options(0).OfflineFingerprint()
+	if tag := s.DefenseTag(); tag != "" {
+		fp += "|defense=" + tag
+	}
+	return fp
 }
 
 // NewTestbed validates the spec, builds its machine, and installs the

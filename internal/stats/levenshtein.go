@@ -64,56 +64,58 @@ func ErrorRate(sent, received []int) float64 {
 // LevenshteinOps decomposes the Levenshtein distance from a to b into its
 // operation counts: deletions remove elements of a, insertions add
 // elements of b, substitutions replace one with the other. The total
-// ins+del+sub equals Levenshtein(a, b). When several minimal alignments
-// exist the backtrace prefers matches, then substitutions, then
-// deletions — a fixed rule, so the decomposition is deterministic.
+// ins+del+sub equals Levenshtein(a, b). The counts are read off the
+// canonical Align backtrace, so they are deterministic and consistent
+// with every other alignment-derived metric.
 func LevenshteinOps(a, b []int) (ins, del, sub int) {
-	n, m := len(a), len(b)
-	d := make([][]int, n+1)
-	for i := range d {
-		d[i] = make([]int, m+1)
-		d[i][0] = i
-	}
-	for j := 0; j <= m; j++ {
-		d[0][j] = j
-	}
-	for i := 1; i <= n; i++ {
-		for j := 1; j <= m; j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
-		}
-	}
-	i, j := n, m
-	for i > 0 || j > 0 {
-		switch {
-		case i > 0 && j > 0 && a[i-1] == b[j-1] && d[i][j] == d[i-1][j-1]:
-			i, j = i-1, j-1
-		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+1:
-			sub++
-			i, j = i-1, j-1
-		case i > 0 && d[i][j] == d[i-1][j]+1:
-			del++
-			i--
-		default:
+	return OpsFromSteps(Align(a, b))
+}
+
+// OpsFromSteps counts an alignment's operations, for callers that derive
+// several metrics from one Align pass.
+func OpsFromSteps(steps []AlignStep) (ins, del, sub int) {
+	for _, s := range steps {
+		switch s.Op {
+		case OpInsert:
 			ins++
-			j--
+		case OpDelete:
+			del++
+		case OpSubstitute:
+			sub++
 		}
 	}
 	return ins, del, sub
 }
 
-// LongestMismatch returns the length of the longest run of consecutive
-// positions at which the aligned sequences disagree. Alignment is the
-// standard Levenshtein backtrace; mismatched, inserted, and deleted
-// elements all count as disagreement. Table I reports this as "Longest
-// Mismatch".
-func LongestMismatch(a, b []int) int {
+// AlignOp is one step of a minimal edit alignment from a to b.
+type AlignOp int
+
+const (
+	// OpMatch consumes equal elements from both sequences.
+	OpMatch AlignOp = iota
+	// OpSubstitute consumes one element from each, unequal.
+	OpSubstitute
+	// OpDelete consumes an element of a with no counterpart in b.
+	OpDelete
+	// OpInsert consumes an element of b with no counterpart in a.
+	OpInsert
+)
+
+// AlignStep pairs an operation with the indices it consumed: I into a, J
+// into b, -1 for the side an insertion/deletion does not touch.
+type AlignStep struct {
+	Op   AlignOp
+	I, J int
+}
+
+// Align returns a minimal edit alignment from a to b in forward order —
+// the single authoritative backtrace behind LevenshteinOps,
+// LongestMismatch, and the chaser's per-class confusion metrics. When
+// several minimal alignments exist the backtrace prefers matches, then
+// substitutions, then deletions — a fixed rule, so every derived metric
+// is deterministic and mutually consistent.
+func Align(a, b []int) []AlignStep {
 	n, m := len(a), len(b)
-	// Full DP matrix for backtrace. Sequences in this project are <= a few
-	// hundred elements, so O(n*m) memory is fine.
 	d := make([][]int, n+1)
 	for i := range d {
 		d[i] = make([]int, m+1)
@@ -131,24 +133,42 @@ func LongestMismatch(a, b []int) int {
 			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
 		}
 	}
-	// Backtrace from (n,m), recording match/mismatch per step.
-	longest, run := 0, 0
+	var rev []AlignStep
 	i, j := n, m
 	for i > 0 || j > 0 {
 		switch {
 		case i > 0 && j > 0 && a[i-1] == b[j-1] && d[i][j] == d[i-1][j-1]:
-			run = 0
+			rev = append(rev, AlignStep{Op: OpMatch, I: i - 1, J: j - 1})
 			i, j = i-1, j-1
 		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+1:
-			run++
+			rev = append(rev, AlignStep{Op: OpSubstitute, I: i - 1, J: j - 1})
 			i, j = i-1, j-1
 		case i > 0 && d[i][j] == d[i-1][j]+1:
-			run++
+			rev = append(rev, AlignStep{Op: OpDelete, I: i - 1, J: -1})
 			i--
 		default:
-			run++
+			rev = append(rev, AlignStep{Op: OpInsert, I: -1, J: j - 1})
 			j--
 		}
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// LongestMismatch returns the length of the longest run of consecutive
+// positions at which the aligned sequences disagree. Alignment is the
+// canonical Align backtrace; mismatched, inserted, and deleted elements
+// all count as disagreement. Table I reports this as "Longest Mismatch".
+func LongestMismatch(a, b []int) int {
+	longest, run := 0, 0
+	for _, s := range Align(a, b) {
+		if s.Op == OpMatch {
+			run = 0
+			continue
+		}
+		run++
 		if run > longest {
 			longest = run
 		}

@@ -140,3 +140,70 @@ func TestLongestMismatchNeverExceedsLevenshteinAlignment(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAlignMatchesLevenshteinOps: the alignment's implied operation
+// counts must equal LevenshteinOps' decomposition for random sequences
+// (same DP, same tie-break rule), and consume both sequences exactly.
+func TestAlignMatchesLevenshteinOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		a := make([]int, rng.Intn(20))
+		b := make([]int, rng.Intn(20))
+		for i := range a {
+			a[i] = rng.Intn(4)
+		}
+		for i := range b {
+			b[i] = rng.Intn(4)
+		}
+		steps := Align(a, b)
+		var ins, del, sub int
+		ai, bj := 0, 0
+		for _, s := range steps {
+			switch s.Op {
+			case OpMatch, OpSubstitute:
+				if s.I != ai || s.J != bj {
+					t.Fatalf("trial %d: step %+v out of order (want i=%d j=%d)", trial, s, ai, bj)
+				}
+				if s.Op == OpMatch && a[s.I] != b[s.J] {
+					t.Fatalf("trial %d: match over unequal elements", trial)
+				}
+				if s.Op == OpSubstitute {
+					if a[s.I] == b[s.J] {
+						t.Fatalf("trial %d: substitution over equal elements", trial)
+					}
+					sub++
+				}
+				ai++
+				bj++
+			case OpDelete:
+				if s.I != ai || s.J != -1 {
+					t.Fatalf("trial %d: bad delete step %+v", trial, s)
+				}
+				ai++
+				del++
+			case OpInsert:
+				if s.J != bj || s.I != -1 {
+					t.Fatalf("trial %d: bad insert step %+v", trial, s)
+				}
+				bj++
+				ins++
+			}
+		}
+		if ai != len(a) || bj != len(b) {
+			t.Fatalf("trial %d: alignment consumed %d/%d and %d/%d", trial, ai, len(a), bj, len(b))
+		}
+		wi, wd, ws := LevenshteinOps(a, b)
+		if ins != wi || del != wd || sub != ws {
+			t.Fatalf("trial %d: align ops (%d,%d,%d) != LevenshteinOps (%d,%d,%d)",
+				trial, ins, del, sub, wi, wd, ws)
+		}
+		// The independent check: LevenshteinOps is implemented over Align,
+		// so comparing the two alone would be tautological. Levenshtein()
+		// is a separate two-row DP — the alignment's total op count must
+		// equal the independently computed distance (i.e. be minimal).
+		if want := Levenshtein(a, b); ins+del+sub != want {
+			t.Fatalf("trial %d: alignment cost %d != independent Levenshtein %d",
+				trial, ins+del+sub, want)
+		}
+	}
+}

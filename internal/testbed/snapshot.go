@@ -1,6 +1,8 @@
 package testbed
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"repro/internal/cache"
@@ -112,6 +114,55 @@ func (tb *Testbed) Restore(s *Snapshot) {
 	tb.noiseSpace = s.noiseSpace
 	tb.traffic = nil
 	tb.nextFrame = nil
+}
+
+// snapshotGob mirrors Snapshot with exported fields for the disk-backed
+// artifact store. The component snapshots carry their own gob codecs, so
+// this composes the same way the in-memory snapshot does.
+type snapshotGob struct {
+	Clock uint64
+	Cache *cache.Snapshot
+	Alloc *mem.AllocatorState
+	NIC   *nic.Snapshot
+
+	NoiseRNG sim.RNGState
+	TimerRNG sim.RNGState
+
+	NoiseRate   float64
+	TimerNoise  uint64
+	NoisePeriod uint64
+	NoiseNextAt uint64
+	NoiseSpace  uint64
+}
+
+// GobEncode serializes the machine snapshot (disk-backed warm starts): a
+// decoded snapshot clones machines bit-identically to the original, so
+// persisted offline artifacts survive process restarts.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(snapshotGob{
+		Clock: s.clock, Cache: s.cache, Alloc: s.alloc, NIC: s.nic,
+		NoiseRNG: s.noiseRNG, TimerRNG: s.timerRNG,
+		NoiseRate: s.noiseRate, TimerNoise: s.timerNoise,
+		NoisePeriod: s.noisePeriod, NoiseNextAt: s.noiseNextAt, NoiseSpace: s.noiseSpace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds a machine snapshot from its serialized form.
+func (s *Snapshot) GobDecode(b []byte) error {
+	var w snapshotGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	s.clock, s.cache, s.alloc, s.nic = w.Clock, w.Cache, w.Alloc, w.NIC
+	s.noiseRNG, s.timerRNG = w.NoiseRNG, w.TimerRNG
+	s.noiseRate, s.timerNoise = w.NoiseRate, w.TimerNoise
+	s.noisePeriod, s.noiseNextAt, s.noiseSpace = w.NoisePeriod, w.NoiseNextAt, w.NoiseSpace
+	return nil
 }
 
 // SetNoiseRate changes the background process's access rate mid-run — the
