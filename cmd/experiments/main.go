@@ -30,8 +30,9 @@
 // -sweep runs one sensitivity study instead: the sweep's cartesian grid
 // of scenario axes is fanned out over the worker pool with decorrelated
 // per-cell seeds, and the aggregated curve is emitted keyed by cell
-// coordinates under the packetchasing-sweep/v1 schema, with the same
-// parallel-width byte-determinism contract.
+// coordinates under the packetchasing-sweep/v2 schema (numeric coords
+// plus name labels for categorical axes like the defense registry), with
+// the same parallel-width byte-determinism contract.
 //
 // Warm starts (the default) exploit the attack's phase structure: the
 // expensive offline phase — eviction-set construction, latency

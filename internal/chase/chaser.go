@@ -65,6 +65,13 @@ func DefaultChaserConfig() ChaserConfig {
 // Chaser follows packets around the recovered ring, probing only the sets
 // of the buffer expected to fill next — the resolution multiplier that
 // distinguishes Packet Chasing from blanket PRIME+PROBE.
+//
+// The chaser inherits the spy's measurement strategy (probe.Strategy):
+// built on an amplified spy, every per-buffer monitor block-times its
+// walks and widens its thresholds by the calibrated noise floor, which is
+// what keeps the chase alive under a timer-coarsening defense. Use
+// CalibrationOK to tell a healthy chase from one whose monitors have
+// explicitly declared themselves unable to separate signal from jitter.
 type Chaser struct {
 	spy    *probe.Spy
 	groups []probe.EvictionSet
@@ -122,6 +129,20 @@ func (c *Chaser) monitorFor(groupID int) *probe.Monitor {
 
 // Position returns the current index into the recovered ring.
 func (c *Chaser) Position() int { return c.pos }
+
+// CalibrationOK reports whether every per-buffer monitor's calibration
+// can actually separate idle timer jitter from packet activity (see
+// probe.Monitor.CalibrationOK). False means the observation stream is
+// noise — experiments surface it as the calibration_ok metric instead of
+// letting a blind chase masquerade as a defense victory.
+func (c *Chaser) CalibrationOK() bool {
+	for _, m := range c.monitors {
+		if !m.CalibrationOK() {
+			return false
+		}
+	}
+	return true
+}
 
 // WaitForActivity blocks (in simulated time) until the current buffer
 // shows activity or the timeout elapses, returning the observed activity

@@ -1,0 +1,119 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/netmodel"
+	"repro/internal/nic"
+	"repro/internal/probe"
+	"repro/internal/testbed"
+)
+
+// coarseWorld is smallWorld with the paper's timer-coarsening defense
+// magnitude in force for offline and online phases alike, and the spy
+// built under the given measurement strategy.
+func coarseWorld(t *testing.T, seed int64, strat probe.Strategy) (*testbed.Testbed, *probe.Spy, []probe.EvictionSet) {
+	t.Helper()
+	opts := testbed.DefaultOptions(seed)
+	opts.Cache = cache.ScaledConfig(2, 1024, 4)
+	opts.NIC = nic.DefaultConfig()
+	opts.NIC.RingSize = 32
+	opts.NoiseRate = 0
+	opts.TimerNoise = 64
+	opts.MemBytes = 1 << 28
+	tb, err := testbed.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy, err := probe.NewSpyStrategy(tb, 32*4*4, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := spy.BuildAlignedEvictionSets(opts.Cache.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, spy, groups
+}
+
+// TestChaserAmplifiedUnderCoarseTimer is the attack-layer half of the
+// tentpole: with a 64-cycle coarse timer in force during the attacker's
+// own offline phase AND the chase, the amplified attacker still follows
+// the alternating-size stream, while its monitors report healthy
+// calibration. The fine-timer attacker's monitors must report UNhealthy
+// under the same timer — the explicit signal this PR adds — so the
+// defense matrix can distinguish "defense works" from "attacker blind".
+func TestChaserAmplifiedUnderCoarseTimer(t *testing.T) {
+	tb, spy, groups := coarseWorld(t, 25, probe.AmplifiedStrategy())
+	ccfg := tb.Cache().Config()
+	if len(groups) != ccfg.AlignedSetCount() {
+		t.Fatalf("amplified offline found %d groups want %d", len(groups), ccfg.AlignedSetCount())
+	}
+
+	byCanon := map[int]int{}
+	for _, g := range groups {
+		byCanon[ccfg.AlignedIndexOf(ccfg.GlobalSet(g.Lines[0]))] = g.ID
+	}
+	var ring []int
+	for _, s := range tb.NIC().RingAlignedSets(ccfg) {
+		ring = append(ring, byCanon[s])
+	}
+
+	wire := netmodel.NewWire(netmodel.GigabitRate)
+	sizes := make([]int, 64)
+	for i := range sizes {
+		if i%2 == 0 {
+			sizes[i] = 256 // 4 blocks
+		} else {
+			sizes[i] = 64 // 1 block
+		}
+	}
+	gaps := make([]uint64, len(sizes))
+	for i := range gaps {
+		gaps[i] = 400_000
+	}
+	tb.SetTraffic(netmodel.NewTraceSource(wire, sizes, gaps, tb.Clock().Now()+200_000))
+
+	cfg := DefaultChaserConfig()
+	cfg.SyncTimeout = 2_000_000
+	ch := NewChaser(spy, groups, ring, cfg)
+	if !ch.CalibrationOK() {
+		t.Fatal("amplified chaser reports degenerate calibration under coarse timer")
+	}
+	obs := ch.Chase(40)
+	if len(obs) < 30 {
+		t.Fatalf("chased only %d packets under coarse timer", len(obs))
+	}
+	big, small := 0, 0
+	for _, o := range obs {
+		if o.Resynced {
+			continue
+		}
+		if o.Blocks >= 4 {
+			big++
+		} else if o.Blocks <= 2 {
+			small++
+		}
+	}
+	if big == 0 || small == 0 {
+		t.Fatalf("size classes not distinguished under coarse timer: big=%d small=%d", big, small)
+	}
+	total := big + small
+	if big < total/4 || small < total/4 {
+		t.Errorf("alternation lost under coarse timer: big=%d small=%d", big, small)
+	}
+}
+
+// TestChaserFineTimerReportsBlindUnderCoarseTimer pins the other half:
+// the fine-timer attacker built under the same coarse timer must not
+// claim healthy calibration (whatever groups its degraded offline phase
+// managed to produce).
+func TestChaserFineTimerReportsBlindUnderCoarseTimer(t *testing.T) {
+	tb, spy, groups := coarseWorld(t, 26, probe.DefaultStrategy())
+	_ = tb
+	mon := probe.NewMonitor(spy, groups[:1])
+	if mon.CalibrationOK() {
+		t.Fatal("fine-timer monitor claims healthy calibration under a 64-cycle coarse timer")
+	}
+}

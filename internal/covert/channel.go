@@ -151,6 +151,11 @@ type Result struct {
 	Duration uint64
 	// OutOfSync counts chaser sync losses (full-chasing variant only).
 	OutOfSync uint64
+	// CalibrationOK reports whether the receiving side's monitors could
+	// separate idle timer jitter from frame activity (see
+	// probe.Monitor.CalibrationOK / chase.Chaser.CalibrationOK). False
+	// means ErrorRate measures a blind receiver, not the channel.
+	CalibrationOK bool
 }
 
 func evaluate(sent, received []int, enc Encoding, duration uint64) Result {
@@ -178,7 +183,10 @@ func evaluate(sent, received []int, enc Encoding, duration uint64) Result {
 
 // Receiver decodes the single-buffer channel. It monitors three sets of
 // one isolated ring buffer: block 1 (the clock — every frame writes or
-// prefetches it) and blocks 2 and 3 (the data sets).
+// prefetches it) and blocks 2 and 3 (the data sets). The receiver
+// inherits the spy's measurement strategy (probe.Strategy): an amplified
+// spy keeps the decode usable under a coarse timer by block-timing walks
+// and widening thresholds by the calibrated noise floor.
 type Receiver struct {
 	spy *probe.Spy
 	mon *probe.Monitor
@@ -193,6 +201,10 @@ func NewReceiver(spy *probe.Spy, group probe.EvictionSet) *Receiver {
 	sets := []probe.EvictionSet{group.Offset(1), group.Offset(2), group.Offset(3)}
 	return &Receiver{spy: spy, mon: probe.NewMonitor(spy, sets), Window: 1}
 }
+
+// CalibrationOK reports whether the receiver's monitor can separate idle
+// timer jitter from frame activity (see probe.Monitor.CalibrationOK).
+func (r *Receiver) CalibrationOK() bool { return r.mon.CalibrationOK() }
 
 // Listen samples for the given number of symbol frames and decodes one
 // symbol per frame in which the clock set fired. probeInterval is the
@@ -300,5 +312,7 @@ func RunSingleBuffer(spy *probe.Spy, group probe.EvictionSet, symbols []int, enc
 	wireSyms := rx.Listen(len(symbols), probeInterval, framePeriod)
 	duration := tb.Clock().Now() - t0
 	received := decodeToAlphabet(enc, wireSyms)
-	return evaluate(symbols, received, enc, duration), nil
+	r := evaluate(symbols, received, enc, duration)
+	r.CalibrationOK = rx.CalibrationOK()
+	return r, nil
 }

@@ -106,6 +106,7 @@ func (c *ChasingChannel) Run(symbols []int, enc Encoding, packetRate float64, rn
 	}
 	res := evaluate(symbols, decodeToAlphabet(enc, received), enc, duration)
 	res.OutOfSync = ch.OutOfSync
+	res.CalibrationOK = ch.CalibrationOK()
 	return res
 }
 

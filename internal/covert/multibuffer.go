@@ -167,5 +167,7 @@ func RunMultiBuffer(spy *probe.Spy, groups []probe.EvictionSet, ring []int, nBuf
 	wireSyms := rx.Listen(len(symbols), probeInterval, sectionPeriod)
 	duration := tb.Clock().Now() - t0
 	received := decodeToAlphabet(enc, wireSyms)
-	return evaluate(symbols, received, enc, duration), nil
+	r := evaluate(symbols, received, enc, duration)
+	r.CalibrationOK = rx.mon.CalibrationOK()
+	return r, nil
 }

@@ -77,6 +77,13 @@ type Artifact struct {
 	// Rigs maps experiment-chosen labels ("rig", "blocks3", "rep1", ...)
 	// to prepared machines.
 	Rigs map[string]*RigArtifact
+	// Failed records offline phases that collapsed, label -> reason, for
+	// experiments where an attacker-side failure is itself an outcome
+	// (chase_coarse_timer: the fine-timer attacker's preparation caving
+	// in under a coarse timer is the measurement, not an error). The
+	// simulation is deterministic, so the reasons are too — warm and cold
+	// runs record identical bytes.
+	Failed map[string]string
 }
 
 // RigArtifact is one prepared machine: the options to rebuild its shell,
@@ -91,7 +98,11 @@ type RigArtifact struct {
 
 // NewArtifact starts an empty artifact rooted at the context's seed.
 func (ctx PrepareCtx) NewArtifact() *Artifact {
-	return &Artifact{Root: ctx.Seed, Rigs: make(map[string]*RigArtifact)}
+	return &Artifact{
+		Root:   ctx.Seed,
+		Rigs:   make(map[string]*RigArtifact),
+		Failed: make(map[string]string),
+	}
 }
 
 // AddRig prepares (or fetches from the store) the machine described by
@@ -110,7 +121,17 @@ func (ctx PrepareCtx) AddRig(a *Artifact, label string, opts testbed.Options) er
 // invisible to the option fingerprint). Plain AddRig remains for
 // defense-free option structs.
 func (ctx PrepareCtx) AddSpecRig(a *Artifact, label string, spec scenario.Spec, seed int64) error {
-	return ctx.AddRigTagged(a, label, spec.Options(seed), spec.DefenseTag())
+	return ctx.addRig(a, label, spec.Options(seed), spec.DefenseTag(), probe.DefaultStrategy())
+}
+
+// AddSpecRigStrategy is AddSpecRig with an explicit attacker measurement
+// strategy: the spy calibrates (and the eviction sets are built) under
+// the given strategy, and the strategy participates in the artifact's
+// content address — a machine prepared by the amplified coarse-timer
+// attacker must never be interchanged with one the fine-timer attacker
+// prepared, even though the machine options are identical.
+func (ctx PrepareCtx) AddSpecRigStrategy(a *Artifact, label string, spec scenario.Spec, seed int64, strat probe.Strategy) error {
+	return ctx.addRig(a, label, spec.Options(seed), spec.DefenseTag(), strat)
 }
 
 // AddRigTagged is AddRig with an extra content-address component. It
@@ -123,7 +144,19 @@ func (ctx PrepareCtx) AddSpecRig(a *Artifact, label string, spec scenario.Spec, 
 // i.e. the defense's Fingerprint); "" degrades to plain AddRig. Prefer
 // AddSpecRig, which derives the tag and cannot be miscalled.
 func (ctx PrepareCtx) AddRigTagged(a *Artifact, label string, opts testbed.Options, tag string) error {
-	build := func() (*RigArtifact, error) { return buildRigArtifact(opts) }
+	return ctx.addRig(a, label, opts, tag, probe.DefaultStrategy())
+}
+
+// AddRigStrategy is AddRigTagged plus an attacker strategy (see
+// AddSpecRigStrategy for why the strategy is part of the address).
+func (ctx PrepareCtx) AddRigStrategy(a *Artifact, label string, opts testbed.Options, tag string, strat probe.Strategy) error {
+	return ctx.addRig(a, label, opts, tag, strat)
+}
+
+// addRig is the shared build-or-fetch path behind every Add*Rig entry
+// point.
+func (ctx PrepareCtx) addRig(a *Artifact, label string, opts testbed.Options, tag string, strat probe.Strategy) error {
+	build := func() (*RigArtifact, error) { return buildRigArtifact(opts, strat) }
 	var ra *RigArtifact
 	var err error
 	if ctx.Store != nil {
@@ -131,6 +164,9 @@ func (ctx PrepareCtx) AddRigTagged(a *Artifact, label string, opts testbed.Optio
 			opts.OfflineFingerprint(), ctx.Scale, ctx.Seed, opts.Seed)
 		if tag != "" {
 			key += "|defense=" + tag
+		}
+		if sfp := strat.Fingerprint(); sfp != "" {
+			key += "|attacker=" + sfp
 		}
 		ra, err = ctx.Store.rig(key, build)
 	} else {
@@ -148,22 +184,34 @@ func (ctx PrepareCtx) AddRigTagged(a *Artifact, label string, opts testbed.Optio
 	return nil
 }
 
+// BuildError marks a deterministic offline-phase failure: the simulated
+// attacker itself failed to prepare the machine (calibration collapse,
+// no conflict groups, a converted panic). It exists so experiments that
+// treat attacker collapse as a measured outcome (chase_coarse_timer) can
+// distinguish it from infrastructure errors — artifact persistence, a
+// full disk — which are environment-dependent, nondeterministic, and
+// must fail the run instead of masquerading as a defense victory.
+type BuildError struct{ Err error }
+
+func (e *BuildError) Error() string { return e.Err.Error() }
+func (e *BuildError) Unwrap() error { return e.Err }
+
 // buildRigArtifact runs the offline phase for one machine: construct the
-// testbed, map and calibrate the spy, build the aligned eviction sets,
-// and snapshot the result. Panics are converted to errors HERE, below
-// both the store and the direct path, for two reasons: a panic escaping
-// into the store's sync.Once would poison the entry with (nil, nil) for
-// every later trial, and converting at the same layer in both paths
-// keeps warm and cold error bytes identical.
-func buildRigArtifact(opts testbed.Options) (ra *RigArtifact, err error) {
+// testbed, map and calibrate the spy under the given strategy, build the
+// aligned eviction sets, and snapshot the result. Panics are converted to
+// errors HERE, below both the store and the direct path, for two reasons:
+// a panic escaping into the store's sync.Once would poison the entry with
+// (nil, nil) for every later trial, and converting at the same layer in
+// both paths keeps warm and cold error bytes identical.
+func buildRigArtifact(opts testbed.Options, strat probe.Strategy) (ra *RigArtifact, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			ra, err = nil, fmt.Errorf("panic: %v", r)
+			ra, err = nil, &BuildError{Err: fmt.Errorf("panic: %v", r)}
 		}
 	}()
-	rig, err := newAttackRigOpts(opts)
+	rig, err := newAttackRigStrategy(opts, strat)
 	if err != nil {
-		return nil, err
+		return nil, &BuildError{Err: err}
 	}
 	snap, err := rig.tb.Snapshot()
 	if err != nil {
@@ -251,8 +299,9 @@ func NewDiskArtifactStore(dir string) (*ArtifactStore, error) {
 // removed in any component, a new RigArtifact member — because gob
 // zero-fills missing fields: a stale entry from an older binary would
 // otherwise *decode successfully* into subtly wrong machine state
-// instead of missing the cache and rebuilding.
-const artifactFormatVersion = "packetchasing-artifact/v1"
+// instead of missing the cache and rebuilding. v2: probe.SpyState gained
+// the measurement strategy and its calibration quality signals.
+const artifactFormatVersion = "packetchasing-artifact/v2"
 
 // rigPath is the disk location for a key: the hex SHA-256 of the
 // version-qualified content address (keys embed config dumps — too long

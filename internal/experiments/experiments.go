@@ -150,6 +150,7 @@ func All() []Experiment {
 		{ID: "fig15", Short: "memory traffic and LLC miss rate by scheme", Run: Fig15},
 		{ID: "fig16", Short: "HTTP tail latency by defense scheme", Run: Fig16},
 		phasedExp("matrix_defense", "attack x defense matrix: leakage vs overhead", PrepareMatrixDefense, MeasureMatrixDefense),
+		phasedExp("chase_coarse_timer", "chase accuracy vs timer jitter: fine-timer vs amplified attacker", PrepareChaseCoarseTimer, MeasureChaseCoarseTimer),
 	}
 }
 

@@ -10,7 +10,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "table1",
 		"fig10", "fig11", "fig12ab", "fig12cd",
 		"fig13", "fingerprint", "table2", "fig14", "fig15", "fig16",
-		"matrix_defense",
+		"matrix_defense", "chase_coarse_timer",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -39,11 +39,19 @@ func schemesFor(names ...string) []perfsim.Scheme {
 // newAttackRigOpts is newAttackRig with explicit options (for experiments
 // that tweak the machine, e.g. disabling DDIO).
 func newAttackRigOpts(opts testbed.Options) (*attackRig, error) {
+	return newAttackRigStrategy(opts, probe.DefaultStrategy())
+}
+
+// newAttackRigStrategy runs the offline phase under an explicit attacker
+// measurement strategy (probe.Strategy): the amplified coarse-timer
+// attacker calibrates and builds its eviction sets through it, and every
+// monitor the attack layers later construct inherits it via the spy.
+func newAttackRigStrategy(opts testbed.Options, strat probe.Strategy) (*attackRig, error) {
 	tb, err := testbed.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	spy, err := probe.NewSpy(tb, spyPages(opts))
+	spy, err := probe.NewSpyStrategy(tb, spyPages(opts), strat)
 	if err != nil {
 		return nil, err
 	}

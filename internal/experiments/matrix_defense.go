@@ -7,6 +7,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/fingerprint"
 	"repro/internal/perfsim"
+	"repro/internal/probe"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -27,17 +28,51 @@ func defenseSpec(scale Scale, d defense.Defense) scenario.Spec {
 	return baselineSpec(scale).WithDefense(d)
 }
 
-// PrepareMatrixDefense builds one machine per registered defense. Rigs
-// are labeled by defense name and content-addressed with the defense
-// fingerprint: a timer-coarsening machine differs from the stock one
-// only in a knob the option fingerprint excludes, yet its offline phase
-// (calibration, eviction sets) ran under the coarse timer, so the
-// artifacts must never be shared.
+// coarsensTimer reports whether the defense denies the attacker a
+// fine-grained timer (directly or inside a stack): the cells where the
+// amplified coarse-timer attacker is the strongest known attack and must
+// be the one the matrix reports.
+func coarsensTimer(scale Scale, d defense.Defense) bool {
+	base := baselineSpec(scale)
+	opts := base.Options(0)
+	d.Apply(&opts)
+	return opts.TimerNoise > base.TimerNoise
+}
+
+// amplifiedLabel names a defense cell's amplified-attacker rig.
+func amplifiedLabel(name string) string { return name + "+amplified" }
+
+// pickHigher reports whether measurement (a, calA) beats (b, calB) on a
+// higher-is-stronger scale (negate values for lower-is-stronger):
+// calibrated measurements always beat uncalibrated ones, and raw values
+// compare only between equally calibrated measurements.
+func pickHigher(a float64, calA bool, b float64, calB bool) bool {
+	if calA != calB {
+		return calA
+	}
+	return a > b
+}
+
+// PrepareMatrixDefense builds one machine per registered defense — and,
+// for defenses that coarsen the timer, a second machine prepared by the
+// amplified attacker (probe.AmplifiedStrategy), because the matrix
+// reports the strongest known attack per cell. Rigs are labeled by
+// defense name and content-addressed with the defense fingerprint plus
+// the attacker strategy: a timer-coarsening machine differs from the
+// stock one only in a knob the option fingerprint excludes, yet its
+// offline phase (calibration, eviction sets) ran under the coarse timer,
+// so the artifacts must never be shared.
 func PrepareMatrixDefense(ctx PrepareCtx) (*Artifact, error) {
 	art := ctx.NewArtifact()
 	for _, d := range defense.All() {
-		if err := ctx.AddSpecRig(art, d.Name(), defenseSpec(ctx.Scale, d), ctx.Seed); err != nil {
+		spec := defenseSpec(ctx.Scale, d)
+		if err := ctx.AddSpecRig(art, d.Name(), spec, ctx.Seed); err != nil {
 			return nil, err
+		}
+		if coarsensTimer(ctx.Scale, d) {
+			if err := ctx.AddSpecRigStrategy(art, amplifiedLabel(d.Name()), spec, ctx.Seed, probe.AmplifiedStrategy()); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return art, nil
@@ -80,35 +115,40 @@ func MeasureMatrixDefense(ctx MeasureCtx, art *Artifact) (Result, error) {
 		return Result{}, err
 	}
 
-	res := Result{
-		ID:    "matrix_defense",
-		Title: "attack x defense matrix: leakage vs overhead for every registered defense",
-		Header: []string{"defense", "chase acc", "covert err", "fp acc",
-			"p99 delta", "tput loss"},
+	// leakageOf runs the three attack families against one prepared rig
+	// (each family on its own fresh clone). Each family carries its
+	// calibration-health signal so a blind attacker's numbers can never
+	// read as a defense outcome (see the *_calibration_ok metrics).
+	type leakage struct {
+		chaseAcc  float64
+		covertErr float64
+		fpAcc     float64
+		chaseCal  bool
+		covertCal bool
+		fpCal     bool
 	}
-	for _, d := range defense.All() {
-		name := d.Name()
+	leakageOf := func(label string) (leakage, error) {
+		out := leakage{covertErr: 1, covertCal: true}
 
-		// Leakage axis: each attack family on a fresh clone of the
-		// defended machine.
-		chaseRig, err := art.rig(name, ctx)
+		chaseRig, err := art.rig(label, ctx)
 		if err != nil {
-			return Result{}, err
+			return leakage{}, err
 		}
 		// Three ring revolutions, not one: ring randomization only moves a
 		// buffer after its first use, so a single pass is blind to §VI-b
 		// (see chaseFrames).
 		chase := chaseAccuracy(chaseRig, nil, chaseFrames(chaseRig))
+		out.chaseAcc, out.chaseCal = chase.acc, chase.calOK
 
 		// A ring with no isolated buffer means the channel cannot even be
-		// established — that counts as fully erased (error 1). An error
-		// from the channel run itself is infrastructure failure, not a
-		// defense outcome, and must fail the trial rather than masquerade
-		// as a perfect defense.
-		covertErr := 1.0
-		covertRig, err := art.rig(name, ctx)
+		// established — that counts as fully erased (error 1, with the
+		// health signal vacuously true: no receiver was ever built). An
+		// error from the channel run itself is infrastructure failure,
+		// not a defense outcome, and must fail the trial rather than
+		// masquerade as a perfect defense.
+		covertRig, err := art.rig(label, ctx)
 		if err != nil {
-			return Result{}, err
+			return leakage{}, err
 		}
 		ring := covertRig.groundTruthRing()
 		if gid, ok := covert.ChooseIsolatedBuffer(ring); ok {
@@ -116,24 +156,92 @@ func MeasureMatrixDefense(ctx MeasureCtx, art *Artifact) (Result, error) {
 			r0, err := covert.RunSingleBuffer(covertRig.spy, covertRig.groups[gid],
 				symbols, covert.Ternary, len(ring), 16_500)
 			if err != nil {
-				return Result{}, fmt.Errorf("matrix_defense: covert channel under %s: %w", name, err)
+				return leakage{}, fmt.Errorf("matrix_defense: covert channel under %s: %w", label, err)
 			}
-			covertErr = r0.ErrorRate
-			if covertErr > 1 {
-				covertErr = 1
+			out.covertErr = r0.ErrorRate
+			if out.covertErr > 1 {
+				out.covertErr = 1
 			}
+			out.covertCal = r0.CalibrationOK
 		}
 
-		fpRig, err := art.rig(name, ctx)
+		fpRig, err := art.rig(label, ctx)
 		if err != nil {
-			return Result{}, err
+			return leakage{}, err
 		}
 		atk := &fingerprint.Attack{
 			Spy: fpRig.spy, Groups: fpRig.groups, Ring: fpRig.groundTruthRing(), TraceLen: 100,
 		}
 		ev := fingerprint.EvaluateClosedWorld(atk, webtrace.ClosedWorld(), webtrace.DefaultNoise(),
-			fpTrials, sim.Derive(ctx.Seed, "matrix/"+name))
-		fpAcc := ev.Accuracy()
+			fpTrials, sim.Derive(ctx.Seed, "matrix/"+label))
+		out.fpAcc, out.fpCal = ev.Accuracy(), atk.CalibrationOK()
+		return out, nil
+	}
+
+	res := Result{
+		ID:    "matrix_defense",
+		Title: "attack x defense matrix: strongest-attack leakage vs overhead for every registered defense",
+		Header: []string{"defense", "attacker", "chase acc", "covert err", "fp acc",
+			"p99 delta", "tput loss"},
+	}
+	for _, d := range defense.All() {
+		name := d.Name()
+		key := slug(name)
+
+		// Leakage axis, strongest known attack per cell: the fine-timer
+		// attacker everywhere, and additionally the amplified coarse-timer
+		// attacker wherever the defense coarsens the timer — a defense is
+		// only as strong as the best attack against it, and scoring
+		// timer coarsening against an attacker whose calibration it
+		// silently broke made the defense look stronger than the threat
+		// model justifies.
+		lk, err := leakageOf(name)
+		if err != nil {
+			return Result{}, err
+		}
+		attacker := "fine-timer"
+		// The artifact is the source of truth for which cells carry an
+		// amplified rig (Prepare decided via coarsensTimer); re-deriving
+		// the predicate here could silently diverge from what was built.
+		if _, ok := art.Rigs[amplifiedLabel(name)]; ok {
+			fine := lk
+			amp, err := leakageOf(amplifiedLabel(name))
+			if err != nil {
+				return Result{}, err
+			}
+			// Per family, take the stronger attack AND carry that
+			// attacker's health signal. "Stronger" is gated on
+			// calibration: a blind attacker's chance-level noise must
+			// never outrank a calibrated attacker's true measurement
+			// (under the partition+coarse stack the blind fine-timer
+			// chaser scores the two-class coin-flip ~0.5 while the
+			// calibrated amplified chaser truly measures ~0 — the cell
+			// must report the real leakage, not the noise). Raw numbers
+			// compare only between equally calibrated measurements.
+			lk = fine
+			if pickHigher(amp.chaseAcc, amp.chaseCal, lk.chaseAcc, lk.chaseCal) {
+				lk.chaseAcc, lk.chaseCal = amp.chaseAcc, amp.chaseCal
+			}
+			if pickHigher(-amp.covertErr, amp.covertCal, -lk.covertErr, lk.covertCal) {
+				lk.covertErr, lk.covertCal = amp.covertErr, amp.covertCal
+			}
+			if pickHigher(amp.fpAcc, amp.fpCal, lk.fpAcc, lk.fpCal) {
+				lk.fpAcc, lk.fpCal = amp.fpAcc, amp.fpCal
+			}
+			attacker = "strongest(fine,amplified)"
+			res.AddMetric(key+"_fine_timer_chase_accuracy", "fraction", fine.chaseAcc)
+			res.AddMetric(key+"_fine_timer_chase_calibration_ok", "bool", boolMetric(fine.chaseCal))
+			res.AddMetric(key+"_fine_timer_covert_error", "fraction", fine.covertErr)
+			res.AddMetric(key+"_fine_timer_covert_calibration_ok", "bool", boolMetric(fine.covertCal))
+			res.AddMetric(key+"_fine_timer_fingerprint_accuracy", "fraction", fine.fpAcc)
+			res.AddMetric(key+"_fine_timer_fingerprint_calibration_ok", "bool", boolMetric(fine.fpCal))
+			res.AddMetric(key+"_amplified_chase_accuracy", "fraction", amp.chaseAcc)
+			res.AddMetric(key+"_amplified_chase_calibration_ok", "bool", boolMetric(amp.chaseCal))
+			res.AddMetric(key+"_amplified_covert_error", "fraction", amp.covertErr)
+			res.AddMetric(key+"_amplified_covert_calibration_ok", "bool", boolMetric(amp.covertCal))
+			res.AddMetric(key+"_amplified_fingerprint_accuracy", "fraction", amp.fpAcc)
+			res.AddMetric(key+"_amplified_fingerprint_calibration_ok", "bool", boolMetric(amp.fpCal))
+		}
 
 		// Overhead axis.
 		perf, err := perfFor(d.PerfScheme())
@@ -144,20 +252,24 @@ func MeasureMatrixDefense(ctx MeasureCtx, art *Artifact) (Result, error) {
 		tputLoss := (base.throughput - perf.throughput) / base.throughput
 
 		res.Rows = append(res.Rows, []string{
-			name, pct(chase.acc), pct(covertErr), pct(fpAcc),
+			name, attacker, pct(lk.chaseAcc), pct(lk.covertErr), pct(lk.fpAcc),
 			fmt.Sprintf("%+.1f%%", 100*p99Delta), fmt.Sprintf("%+.1f%%", 100*tputLoss),
 		})
-		key := slug(name)
-		res.AddMetric(key+"_chase_accuracy", "fraction", chase.acc)
-		res.AddMetric(key+"_covert_error", "fraction", covertErr)
-		res.AddMetric(key+"_fingerprint_accuracy", "fraction", fpAcc)
+		res.AddMetric(key+"_chase_accuracy", "fraction", lk.chaseAcc)
+		res.AddMetric(key+"_chase_calibration_ok", "bool", boolMetric(lk.chaseCal))
+		res.AddMetric(key+"_covert_error", "fraction", lk.covertErr)
+		res.AddMetric(key+"_covert_calibration_ok", "bool", boolMetric(lk.covertCal))
+		res.AddMetric(key+"_fingerprint_accuracy", "fraction", lk.fpAcc)
+		res.AddMetric(key+"_fingerprint_calibration_ok", "bool", boolMetric(lk.fpCal))
 		res.AddMetric(key+"_p99_delta", "fraction", p99Delta)
 		res.AddMetric(key+"_throughput_loss", "fraction", tputLoss)
 	}
 	res.AddMetric("defenses", "count", float64(len(defense.All())))
 	res.Notes = append(res.Notes,
 		"leakage: chase accuracy and fingerprint accuracy fall (and covert error rises) as a defense bites;",
+		"*_calibration_ok distinguishes 'the defense erased the signal' from 'the attacker went blind': a 0 means that family's number is the output of monitors that reported themselves unable to separate timer jitter from activity;",
+		"each cell reports the strongest known attack: timer-coarsening cells are re-derived with the amplified repeated-measurement attacker (probe.AmplifiedStrategy), with both attackers' raw numbers kept as *_fine_timer_* / *_amplified_* metrics; selection prefers calibrated measurements, so a blind attacker's chance-level noise never outranks a calibrated attacker's true number;",
 		"overhead: perfsim Nginx p99/throughput deltas vs the vulnerable baseline (timer coarsening is client-side: zero server cost)",
-		"paper shape: adaptive partitioning erases the channel for a few percent overhead; disabling DDIO degrades but does not stop the attack; full ring randomization pays ~40% p99")
+		"paper shape: adaptive partitioning erases the channel for a few percent overhead; disabling DDIO degrades but does not stop the attack; full ring randomization pays ~40% p99; timer coarsening alone does NOT stop the amplified attacker")
 	return res, nil
 }

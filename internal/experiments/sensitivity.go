@@ -6,6 +6,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/covert"
 	"repro/internal/netmodel"
+	"repro/internal/probe"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -113,6 +114,20 @@ func Sweeps() []Sweep {
 			scenario.Grid{scenario.DefenseAxis()},
 			prepareSweepRigs, MeasureSensChaseDefense,
 		),
+		phasedSweep(
+			"sens_defense_noise",
+			"chase accuracy vs defense x background noise (amplified attacker)",
+			// The first multi-axis defense grid: a categorical defense
+			// axis crossed with the ambient-noise axis, measured with the
+			// strongest known (amplified) attacker. Noise is online-only,
+			// so a warm run prepares one set of machines per defense and
+			// shares them across the whole noise row.
+			scenario.Grid{
+				scenario.DefenseAxis("none", "no-ddio", "timer-coarse-64", "adaptive-partition"),
+				{Name: scenario.AxisNoiseRate, Values: []float64{20_000, 2_000_000, 8_000_000}},
+			},
+			prepareAmplifiedSweepRigs, MeasureSensDefenseNoise,
+		),
 	}
 }
 
@@ -143,10 +158,18 @@ func cellSpec(scale Scale, cell scenario.Cell) scenario.Spec {
 
 // prepareSweepRigs is the shared offline phase of every sensitivity
 // sweep: sensReps machines of the cell's geometry, built under the
-// reference environment (scenario.Spec.Offline). Cells that differ only
-// on online axes produce identical machine shapes and seeds, so a warm
-// runner prepares the whole grid's machines exactly once.
+// reference environment (scenario.Spec.Offline) by the fine-timer
+// attacker. Cells that differ only on online axes produce identical
+// machine shapes and seeds, so a warm runner prepares the whole grid's
+// machines exactly once.
 func prepareSweepRigs(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error) {
+	return prepareSweepRigsStrategy(ctx, cell, probe.DefaultStrategy())
+}
+
+// prepareSweepRigsStrategy is the one offline-preparation recipe behind
+// both attacker flavours; the strategy joins the artifact content
+// address, so fine-timer and amplified machines never collide.
+func prepareSweepRigsStrategy(ctx PrepareCtx, cell scenario.Cell, strat probe.Strategy) (*Artifact, error) {
 	// Validate the cell's full measurement spec — environment and flows
 	// included — before deriving the offline view, so a malformed cell
 	// (negative noise rate, bad flow palette) fails fast here rather than
@@ -158,15 +181,22 @@ func prepareSweepRigs(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error) {
 	spec := full.Offline()
 	art := ctx.NewArtifact()
 	for r := 0; r < sensReps; r++ {
-		// AddSpecRig derives the defense tag from the spec, so machines
-		// are keyed per mitigation even when the mitigation is invisible
-		// to the option fingerprint (timer coarsening): clones must never
-		// cross a defense boundary.
-		if err := ctx.AddSpecRig(art, repLabel(r), spec, sim.DeriveSeed(ctx.Seed, repLabel(r))); err != nil {
+		// AddSpecRigStrategy derives the defense tag from the spec, so
+		// machines are keyed per mitigation even when the mitigation is
+		// invisible to the option fingerprint (timer coarsening): clones
+		// must never cross a defense boundary.
+		if err := ctx.AddSpecRigStrategy(art, repLabel(r), spec, sim.DeriveSeed(ctx.Seed, repLabel(r)), strat); err != nil {
 			return nil, err
 		}
 	}
 	return art, nil
+}
+
+// prepareAmplifiedSweepRigs is prepareSweepRigs with the amplified
+// coarse-timer attacker (probe.AmplifiedStrategy) running the offline
+// phase.
+func prepareAmplifiedSweepRigs(ctx PrepareCtx, cell scenario.Cell) (*Artifact, error) {
+	return prepareSweepRigsStrategy(ctx, cell, probe.AmplifiedStrategy())
 }
 
 // sweepClone cuts one repetition's machine from the artifact and applies
@@ -185,12 +215,16 @@ func sweepClone(art *Artifact, r int, ctx MeasureCtx, spec scenario.Spec) (*atta
 
 // chaseOutcome scores one chase run: accuracy, sync losses, the
 // normalized edit-operation decomposition of the observed stream against
-// the sent stream (per sent symbol), and the per-class confusion split.
+// the sent stream (per sent symbol), the per-class confusion split, and
+// whether the chaser's monitors reported healthy calibration (the
+// calibration_ok metric — false means the accuracy is the accuracy of
+// noise, not of a working attack).
 type chaseOutcome struct {
 	acc           float64
 	outOfSync     float64
 	ins, del, sub float64
 	conf          map[int]chase.ClassConfusion
+	calOK         bool
 }
 
 // chaseAccuracy runs one chase of a known alternating-size stream against
@@ -252,7 +286,16 @@ func chaseAccuracy(rig *attackRig, bg netmodel.Source, frames int) chaseOutcome 
 		del:       float64(del) / n,
 		sub:       float64(sub) / n,
 		conf:      chase.ConfusionFromSteps(sent, seen, steps),
+		calOK:     chaser.CalibrationOK(),
 	}
+}
+
+// boolMetric renders a health flag as a 0/1 metric value.
+func boolMetric(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
 }
 
 // chaseFrames is the victim-stream length for defense-axis chase
@@ -355,6 +398,44 @@ func MeasureSensChaseDefense(ctx MeasureCtx, art *Artifact, cell scenario.Cell) 
 	})
 	res.AddMetric("chase_accuracy", "fraction", stats.Summarize(accs).Mean)
 	res.AddMetric("out_of_sync", "events", stats.Summarize(syncs).Mean)
+	return res, nil
+}
+
+// MeasureSensDefenseNoise measures online-chase accuracy over the crossed
+// defense x noise grid with the amplified attacker: the defense half of
+// the paper's §VI discussion evaluated in the environments a real server
+// actually runs in, against the strongest known attack. The cell spec's
+// OnlineEnv applies both the swept noise rate and the defense's own
+// online overrides (a timer-coarsening defense keeps its coarse timer on
+// the clones), and the calibration_ok metric separates "defense erased
+// the signal" from "attacker went blind".
+func MeasureSensDefenseNoise(ctx MeasureCtx, art *Artifact, cell scenario.Cell) (Result, error) {
+	spec := cellSpec(ctx.Scale, cell)
+	var accs, syncs, cals []float64
+	for r := 0; r < sensReps; r++ {
+		rig, err := sweepClone(art, r, ctx, spec)
+		if err != nil {
+			return Result{}, err
+		}
+		out := chaseAccuracy(rig, nil, chaseFrames(rig))
+		accs = append(accs, out.acc)
+		syncs = append(syncs, out.outOfSync)
+		cals = append(cals, boolMetric(out.calOK))
+	}
+	name, _ := cell.Label(scenario.AxisDefense)
+	noise, _ := cell.Value(scenario.AxisNoiseRate)
+	res := Result{
+		ID:     "sens_defense_noise",
+		Title:  "chase accuracy vs defense x background noise (amplified attacker)",
+		Header: []string{"defense", "noise (accesses/s)", "accuracy", "out-of-sync", "calibration ok"},
+	}
+	res.Rows = append(res.Rows, []string{
+		name, fmt.Sprintf("%.0f", noise), pct(stats.Summarize(accs).Mean),
+		f1(stats.Summarize(syncs).Mean), f2(stats.Summarize(cals).Mean),
+	})
+	res.AddMetric("chase_accuracy", "fraction", stats.Summarize(accs).Mean)
+	res.AddMetric("out_of_sync", "events", stats.Summarize(syncs).Mean)
+	res.AddMetric("calibration_ok", "fraction", stats.Summarize(cals).Mean)
 	return res, nil
 }
 

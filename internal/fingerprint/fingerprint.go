@@ -2,6 +2,11 @@
 // spy chases packets through the recovered ring, records each packet's
 // size class, and matches the resulting vector against representative
 // traces with a cross-correlation classifier.
+//
+// The attack inherits the spy's measurement strategy (probe.Strategy)
+// through the chasers it builds: constructed over an amplified spy, the
+// capture phase survives a timer-coarsening defense the fine-timer
+// attacker does not.
 package fingerprint
 
 import (
@@ -159,7 +164,17 @@ type Attack struct {
 	// TraceLen is how many packets to capture per page load (paper's
 	// figures use the first 100).
 	TraceLen int
+
+	// degraded latches when any chaser this attack built reported
+	// unhealthy calibration (see CalibrationOK).
+	degraded bool
 }
+
+// CalibrationOK reports whether every chaser built by Observe so far had
+// monitors able to separate idle timer jitter from packet activity (see
+// chase.Chaser.CalibrationOK). False means the captured traces — and any
+// accuracy computed from them — are the output of a blind capture phase.
+func (a *Attack) CalibrationOK() bool { return !a.degraded }
 
 // Observe replays one page load on the victim's connection and captures
 // the spy's view of it: per-packet size classes and inter-detection gaps.
@@ -171,6 +186,9 @@ func (a *Attack) Observe(tr webtrace.Trace) (classes []int, gaps []uint64) {
 	cfg := chase.DefaultChaserConfig()
 	cfg.SyncTimeout = 8_000_000
 	ch := chase.NewChaser(a.Spy, a.Groups, a.Ring, cfg)
+	if !ch.CalibrationOK() {
+		a.degraded = true
+	}
 	wire := netmodel.NewWire(netmodel.GigabitRate)
 	tb.SetTraffic(tr.Source(wire, tb.Clock().Now()+50_000))
 	want := a.TraceLen

@@ -1,14 +1,32 @@
 package probe
 
+import (
+	"math"
+	"sort"
+)
+
 // Monitor runs PRIME+PROBE over a list of eviction sets. Each probe of a
 // set walks its lines, accumulating observed latency; walking doubles as
 // the prime for the next sample, exactly as in the paper's Mastik-based
 // attack. A set shows "activity" when its probe latency indicates at least
 // one of the spy's lines was evicted since the previous probe.
+//
+// How a probe is timed follows the spy's Strategy. The fine-timer
+// attacker times every load (historical behaviour). The amplified
+// attacker times each walk as one block — two timer reads around the
+// whole walk — so a walk carries a single quantization draw regardless of
+// its length, and widens its activity thresholds by the calibrated noise
+// spread so idle jitter cannot cross them.
 type Monitor struct {
 	spy        *Spy
 	sets       []EvictionSet
 	thresholds []uint64
+	// idleMin and idleMax record each set's calibration-pass extremes —
+	// the raw material CalibrationOK judges threshold health from.
+	idleMin, idleMax []uint64
+	// spreadEst is the amplified strategy's per-set local noise-spread
+	// estimate (zero for the fine-timer strategy).
+	spreadEst []uint64
 }
 
 // Sample is one probe pass over all monitored sets.
@@ -22,49 +40,209 @@ type Sample struct {
 }
 
 // NewMonitor builds a monitor and calibrates per-set activity thresholds:
-// the idle baseline (all hits) plus half a miss edge.
+// the idle baseline (all hits) plus a margin derived from the spy's
+// calibrated edge and noise floor. A spy whose calibration degenerated
+// still gets a monitor (thresholds stay arithmetically sane), but the
+// monitor reports it through CalibrationOK instead of probing blind in
+// silence.
 func NewMonitor(spy *Spy, sets []EvictionSet) *Monitor {
-	m := &Monitor{spy: spy, sets: sets, thresholds: make([]uint64, len(sets))}
-	edge := (spy.MissLatency() - spy.HitLatency()) / 2
+	m := &Monitor{
+		spy:        spy,
+		sets:       sets,
+		thresholds: make([]uint64, len(sets)),
+		idleMin:    make([]uint64, len(sets)),
+		idleMax:    make([]uint64, len(sets)),
+		spreadEst:  make([]uint64, len(sets)),
+	}
+	for i := range sets {
+		m.recalibrate(i)
+	}
+	return m
+}
+
+// recalibrate measures set i's idle baseline and installs its activity
+// threshold — the one shared path for initial calibration (NewMonitor)
+// and set replacement (ReplaceSet), so the two cannot drift apart.
+//
+// Fine-timer threshold: idle + edge/2, the historical rule. The margin
+// separates one evicted line from an all-hit walk when the timer is
+// sharp; its weakness — per-access jitter accumulating across the walk —
+// is what CalibrationOK makes explicit.
+//
+// Amplified threshold: idle + noise spread + edge/2, with the spread
+// taken as the larger of the spy's calibrated estimate and a fresh local
+// estimate from this calibration's own idle passes. Monitors are built at
+// measurement time: an attacker whose offline phase ran under a clean
+// timer would otherwise carry a stale (near-zero) spread estimate into a
+// coarsened online environment and silently go blind — the exact failure
+// mode this strategy exists to kill. A block-timed idle walk exceeds its
+// own floor by at most one jitter draw (<= spread), so the threshold is
+// uncrossable by idle noise, while an eviction adds at least one full
+// LRU-cascade of misses.
+func (m *Monitor) recalibrate(i int) {
+	edge := m.halfEdge()
+	if m.spy.strat.Amplify {
+		idle, local := m.calibrateSetAmplified(i)
+		spread := m.spy.NoiseSpread()
+		if local > spread {
+			spread = local
+		}
+		m.spreadEst[i] = spread
+		m.thresholds[i] = idle + spread + edge
+		return
+	}
+	m.thresholds[i] = m.calibrateSet(i) + edge
+}
+
+// halfEdge is the calibrated half hit/miss edge (minimum 1 cycle — the
+// degenerate-calibration floor that keeps thresholds arithmetically sane;
+// the degeneracy itself is reported, not hidden).
+func (m *Monitor) halfEdge() uint64 {
+	edge := (m.spy.MissLatency() - m.spy.HitLatency()) / 2
 	if edge == 0 {
 		edge = 1
 	}
-	for i := range sets {
-		m.thresholds[i] = m.calibrateSet(i) + edge
-	}
-	return m
+	return edge
 }
 
 // calibrateSet measures the all-hit baseline of a set: one priming pass,
 // then the minimum of several probe passes. Taking the minimum keeps a
 // packet that happens to land mid-calibration from inflating the baseline
-// (an inflated baseline would blind the monitor permanently).
+// (an inflated baseline would blind the monitor permanently). The pass
+// extremes are recorded for CalibrationOK's pooled jitter estimate.
 func (m *Monitor) calibrateSet(i int) uint64 {
 	m.probeSet(i)
 	idle := m.probeSet(i)
+	max := idle
 	for pass := 0; pass < 2; pass++ {
-		if lat := m.probeSet(i); lat < idle {
+		lat := m.probeSet(i)
+		if lat < idle {
 			idle = lat
 		}
+		if lat > max {
+			max = lat
+		}
 	}
+	m.idleMin[i], m.idleMax[i] = idle, max
 	return idle
+}
+
+// calibrateSetAmplified is the repeated-measurement baseline: one priming
+// pass, then 16 block-timed passes. The minimum is the idle floor; the
+// trimmed range (second-largest minus smallest, scaled up for the
+// sample-range bias) is a fresh local estimate of the timer's per-reading
+// jitter spread. Trimming the single largest pass keeps one packet that
+// lands mid-calibration from inflating the spread and deafening the set.
+func (m *Monitor) calibrateSetAmplified(i int) (idleFloor, spreadEst uint64) {
+	m.probeSet(i)
+	const passes = 16
+	min, max1, max2 := ^uint64(0), uint64(0), uint64(0)
+	for p := 0; p < passes; p++ {
+		lat := m.probeSet(i)
+		if lat < min {
+			min = lat
+		}
+		switch {
+		case lat >= max1:
+			max1, max2 = lat, max1
+		case lat > max2:
+			max2 = lat
+		}
+	}
+	m.idleMin[i], m.idleMax[i] = min, max2
+	// E[2nd-max - min] of n uniform draws is (n-2)/(n+1) of the true
+	// range; 5/4 undoes the bias for n=16 with a little slack.
+	return min, (max2 - min) * 5 / 4
 }
 
 // Sets returns the monitored eviction sets.
 func (m *Monitor) Sets() []EvictionSet { return m.sets }
 
-// ReplaceSet swaps monitored set i (the GET_CLEAN_SAMPLES fallback: an
-// always-active set is replaced by the same group's second-block set).
-func (m *Monitor) ReplaceSet(i int, e EvictionSet) {
-	m.sets[i] = e
-	edge := (m.spy.MissLatency() - m.spy.HitLatency()) / 2
-	if edge == 0 {
-		edge = 1
+// CalibrationOK reports whether this monitor can actually separate idle
+// timer jitter from an eviction: the spy's calibration found an edge, AND
+// every set's threshold margin clears the jitter the spy calibrated
+// offline, AND — because the online timer may be coarser than the one
+// calibration saw — the jitter observable in the monitor's own idle
+// calibration passes. False means samples from this monitor are noise —
+// the explicit signal replacing the old silently-blind behaviour.
+// Experiments surface it as the calibration_ok metric.
+func (m *Monitor) CalibrationOK() bool {
+	if !m.spy.Calibrated() {
+		return false
 	}
-	m.thresholds[i] = m.calibrateSet(i) + edge
+	edge := m.halfEdge()
+	if m.spy.strat.Amplify {
+		for i := range m.sets {
+			// The margin must stay reachable: an eviction's LRU cascade
+			// is worth ~lines*2*edge of latency, and the idle floor
+			// estimate can itself sit up to ~spread above the true floor.
+			// 1.5*spread keeps a worst-case-ish bound without declaring
+			// healthy monitors deaf.
+			n := float64(len(m.sets[i].Lines))
+			if float64(m.spreadEst[i])*1.5+float64(edge) >= n*float64(2*edge) {
+				return false
+			}
+		}
+		return true
+	}
+	// Fine-timer: per-access timing accumulates one jitter draw per line,
+	// so an idle pass's jitter sum has sd ~ spread*sqrt(lines)/sqrt(12)
+	// against a margin of one half-edge that the min-of-passes baseline
+	// has already partially spent. Require ~5 sd of headroom on BOTH
+	// jitter estimates: the spy's offline spread, and a pooled online
+	// estimate from this monitor's own idle passes (median of per-set
+	// maxima minus the global minimum, per line-count — all-hit baselines
+	// of equal-length sets are identical, so the pooled range is pure
+	// jitter; the median keeps a packet that polluted one set's
+	// calibration from faking coarseness). Below that headroom the
+	// monitor WILL read idle jitter as activity — the blindness that
+	// used to be silent.
+	perDraw := float64(m.spy.NoiseSpread())
+	maxima := map[int][]uint64{}
+	minByLen := map[int]uint64{}
+	for i := range m.sets {
+		n := len(m.sets[i].Lines)
+		maxima[n] = append(maxima[n], m.idleMax[i])
+		if lo, ok := minByLen[n]; !ok || m.idleMin[i] < lo {
+			minByLen[n] = m.idleMin[i]
+		}
+	}
+	pooled := map[int]uint64{}
+	for n, xs := range maxima {
+		sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+		pooled[n] = xs[len(xs)/2] - minByLen[n]
+	}
+	for i := range m.sets {
+		n := len(m.sets[i].Lines)
+		if perDraw*math.Sqrt(float64(n))*1.5 > float64(edge) {
+			return false
+		}
+		if pooled[n]*17/10 > edge {
+			return false
+		}
+	}
+	return true
 }
 
+// ReplaceSet swaps monitored set i (the GET_CLEAN_SAMPLES fallback: an
+// always-active set is replaced by the same group's second-block set) and
+// recalibrates its threshold through the same path NewMonitor used.
+func (m *Monitor) ReplaceSet(i int, e EvictionSet) {
+	m.sets[i] = e
+	m.recalibrate(i)
+}
+
+// probeSet walks set i and returns the observed latency of the walk:
+// per-access timer reads summed (fine-timer strategy) or one block
+// reading (amplified strategy).
 func (m *Monitor) probeSet(i int) uint64 {
+	if m.spy.strat.Amplify {
+		var elapsed uint64
+		for _, a := range m.sets[i].Lines {
+			elapsed += m.spy.loadRaw(a)
+		}
+		return m.spy.tb.TimerRead(elapsed)
+	}
 	var lat uint64
 	for _, a := range m.sets[i].Lines {
 		lat += m.spy.Touch(a)

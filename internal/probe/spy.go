@@ -8,10 +8,15 @@
 // oracles. Physical addresses appear in the implementation because the
 // spy's loads must be translated eventually, but no decision is made on
 // address bits the attacker could not know (page-offset bits only).
+//
+// The spy comes in two flavours selected by a Strategy: the paper's
+// fine-timer attacker, and a coarse-timer-resilient variant built on
+// repeated-measurement calibration and amplified probes (see Strategy).
 package probe
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 	"repro/internal/testbed"
@@ -22,32 +27,59 @@ import (
 type Spy struct {
 	tb     *testbed.Testbed
 	region *mem.Region
+	strat  Strategy
 	// OverheadPerAccess is the loop overhead in cycles charged per load
 	// on top of the memory latency.
 	OverheadPerAccess uint64
 
 	hitLat, missLat uint64 // calibrated latencies (observed, incl. noise)
+	// degenerate records that calibration failed to find a separating
+	// hit/miss edge. It is an explicit signal — the old behaviour was to
+	// silently clamp the edge to 1 cycle and let every downstream monitor
+	// go blind without anyone being told.
+	degenerate bool
+	// spread is the calibrated estimate of the timer's jitter range (the
+	// width of the observed hit-latency distribution, ~2N for one-sided
+	// jitter in [0, 2N]). Zero with a perfect timer.
+	spread uint64
+	// factor is the amplification factor K the conflict test uses, chosen
+	// adaptively from spread and the calibrated edge (1 = unamplified).
+	factor int
 }
 
-// NewSpy maps pages of spy memory and calibrates hit/miss latencies.
+// NewSpy maps pages of spy memory and calibrates hit/miss latencies with
+// the fine-timer strategy (the paper's attacker).
 func NewSpy(tb *testbed.Testbed, pages int) (*Spy, error) {
+	return NewSpyStrategy(tb, pages, DefaultStrategy())
+}
+
+// NewSpyStrategy maps pages of spy memory and calibrates under the given
+// measurement strategy. The attack layers above (chase, covert,
+// fingerprint) inherit the strategy through the spy: every Monitor they
+// build probes and thresholds the way the spy's strategy prescribes.
+func NewSpyStrategy(tb *testbed.Testbed, pages int, strat Strategy) (*Spy, error) {
 	r, err := mem.NewRegion(tb.Alloc(), pages)
 	if err != nil {
 		return nil, fmt.Errorf("probe: spy region: %w", err)
 	}
-	s := &Spy{tb: tb, region: r, OverheadPerAccess: 4}
+	s := &Spy{tb: tb, region: r, strat: strat.withDefaults(), OverheadPerAccess: 4}
 	s.calibrate()
 	return s, nil
 }
 
-// SpyState is the spy's post-calibration state: its mapped pages and the
-// measured latency edge. Together with a machine snapshot it lets a warm
-// start rebind an identical spy to a restored machine without re-running
-// region allocation or calibration (both already baked into the snapshot).
+// SpyState is the spy's post-calibration state: its mapped pages, its
+// measurement strategy, and the measured latency edge with its quality
+// signals. Together with a machine snapshot it lets a warm start rebind an
+// identical spy to a restored machine without re-running region allocation
+// or calibration (both already baked into the snapshot).
 type SpyState struct {
 	Pages             []mem.Addr
 	OverheadPerAccess uint64
 	HitLat, MissLat   uint64
+	Strategy          Strategy
+	Degenerate        bool
+	Spread            uint64
+	Factor            int
 }
 
 // State captures the spy for later RestoreSpy.
@@ -57,6 +89,10 @@ func (s *Spy) State() SpyState {
 		OverheadPerAccess: s.OverheadPerAccess,
 		HitLat:            s.hitLat,
 		MissLat:           s.missLat,
+		Strategy:          s.strat,
+		Degenerate:        s.degenerate,
+		Spread:            s.spread,
+		Factor:            s.factor,
 	}
 }
 
@@ -65,12 +101,20 @@ func (s *Spy) State() SpyState {
 // restored allocator) and calibration side effects (clock advance, timer
 // draws). No allocation or calibration happens here.
 func RestoreSpy(tb *testbed.Testbed, st SpyState) *Spy {
+	factor := st.Factor
+	if factor < 1 {
+		factor = 1 // states captured before strategies existed
+	}
 	return &Spy{
 		tb:                tb,
 		region:            mem.RegionFromPages(st.Pages),
+		strat:             st.Strategy.withDefaults(),
 		OverheadPerAccess: st.OverheadPerAccess,
 		hitLat:            st.HitLat,
 		missLat:           st.MissLat,
+		degenerate:        st.Degenerate,
+		spread:            st.Spread,
+		factor:            factor,
 	}
 }
 
@@ -79,6 +123,9 @@ func (s *Spy) Pages() int { return s.region.Pages() }
 
 // Testbed exposes the world for higher attack layers (chase, covert).
 func (s *Spy) Testbed() *testbed.Testbed { return s.tb }
+
+// Strategy returns the spy's measurement strategy.
+func (s *Spy) Strategy() Strategy { return s.strat }
 
 // PageBase returns the spy's address for the base of its i-th page. The
 // value is the translated physical address (what the LLC sees); the spy
@@ -95,29 +142,122 @@ func (s *Spy) Touch(addr uint64) uint64 {
 	return s.tb.TimerRead(lat)
 }
 
+// load performs an untimed load: the clock advances, but no timer reading
+// is taken (the attacker primes and walks without looking at the clock).
+func (s *Spy) load(addr uint64) {
+	_, lat := s.tb.Cache().Read(addr)
+	s.tb.Clock().Advance(lat + s.OverheadPerAccess)
+}
+
+// loadRaw performs a load and returns its TRUE latency without reading the
+// timer. It exists for block timing: the caller accumulates the true
+// elapsed work of several loads and converts the block into one observed
+// duration with a single TimerRead — two timer reads around a block of
+// work carry one quantization error regardless of the block's length.
+func (s *Spy) loadRaw(addr uint64) uint64 {
+	_, lat := s.tb.Cache().Read(addr)
+	s.tb.Clock().Advance(lat + s.OverheadPerAccess)
+	return lat
+}
+
 // calibrate measures the hit/miss latency edge the way attackers do: time
 // a load twice (second one hits), and time first-touch loads (cold
-// misses).
+// misses). The amplified strategy takes more samples and estimates from
+// the distributions; both paths record explicit quality signals instead of
+// silently patching a degenerate edge.
 func (s *Spy) calibrate() {
+	if s.strat.Amplify {
+		s.calibrateAmplified()
+		return
+	}
 	probeAddr := s.PageBase(0) + 512 // scratch line, offset irrelevant
 	s.Touch(probeAddr)
-	var hitSum uint64
 	const trials = 16
-	for i := 0; i < trials; i++ {
-		hitSum += s.Touch(probeAddr)
+	hits := make([]uint64, trials)
+	for i := range hits {
+		hits[i] = s.Touch(probeAddr)
 	}
-	var missSum uint64
-	for i := 0; i < trials; i++ {
+	misses := make([]uint64, trials)
+	for i := range misses {
 		// Distinct cold lines in the scratch page area.
-		missSum += s.Touch(s.PageBase(0) + 1024 + uint64(i*64))
+		misses[i] = s.Touch(s.PageBase(0) + 1024 + uint64(i*64))
 	}
-	s.hitLat = hitSum / trials
-	s.missLat = missSum / trials
+	var hitSum, missSum uint64
+	for i := 0; i < trials; i++ {
+		hitSum += hits[i]
+		missSum += misses[i]
+	}
+	// Rounded means: the historical truncating division biased both levels
+	// low by up to (trials-1)/trials of a cycle, skewing the hit/miss
+	// midpoint under one-sided jitter.
+	s.hitLat = (hitSum + trials/2) / trials
+	s.missLat = (missSum + trials/2) / trials
+	s.spread = spreadOf(hits)
+	s.factor = 1
 	if s.missLat <= s.hitLat {
-		// Degenerate calibration can only happen with absurd timer noise;
-		// fall back to the edge being 1 cycle to keep thresholds sane.
+		// Degenerate calibration: no separating edge. Keep a sane 1-cycle
+		// threshold so downstream arithmetic stays defined, but say so —
+		// NewMonitor and the experiment layer surface the signal instead
+		// of probing blind.
+		s.degenerate = true
 		s.missLat = s.hitLat + 1
 	}
+}
+
+// calibrateAmplified is the repeated-measurement calibration: CalTrials
+// timed loads per point, medians for the levels (one-sided jitter shifts
+// both medians equally, so their difference estimates the true edge), and
+// the hit distribution's width as the timer noise-floor estimate. The
+// conflict-test amplification factor K is then chosen so that K half-edges
+// of signal clear the jitter of K averaged readings: the residual noise of
+// a K-round average shrinks ~sqrt(K), so K grows quadratically with the
+// noise floor, capped by the strategy.
+func (s *Spy) calibrateAmplified() {
+	trials := s.strat.CalTrials
+	// Cold lines live at page offsets [1024, 2048) — 16 per page, below the
+	// block offsets any monitor watches — across as many pages as needed.
+	if max := s.region.Pages() * 16; trials > max {
+		trials = max
+	}
+	if trials < 8 {
+		trials = 8
+	}
+	probeAddr := s.PageBase(0) + 512
+	s.Touch(probeAddr)
+	hits := make([]uint64, trials)
+	for i := range hits {
+		hits[i] = s.Touch(probeAddr)
+	}
+	misses := make([]uint64, trials)
+	for i := range misses {
+		page := (i / 16) % s.region.Pages()
+		misses[i] = s.Touch(s.PageBase(page) + 1024 + uint64(i%16)*64)
+	}
+	s.hitLat = median(hits)
+	s.missLat = median(misses)
+	s.spread = spreadOf(hits)
+	if s.missLat <= s.hitLat {
+		s.degenerate = true
+		s.missLat = s.hitLat + 1
+		s.factor = s.strat.MaxFactor
+		return
+	}
+	halfEdge := (s.missLat - s.hitLat) / 2
+	if halfEdge == 0 {
+		halfEdge = 1
+	}
+	// K such that K*halfEdge > ~3.5 standard deviations of the summed
+	// jitter of K readings: sd = sqrt(K) * spread/sqrt(12), so
+	// K > (3.5/sqrt(12))^2 * (spread/halfEdge)^2 ~= (spread/halfEdge)^2.
+	ratio := (s.spread + halfEdge - 1) / halfEdge
+	k := int(ratio * ratio)
+	if k < 1 {
+		k = 1
+	}
+	if k > s.strat.MaxFactor {
+		k = s.strat.MaxFactor
+	}
+	s.factor = k
 }
 
 // HitLatency returns the calibrated LLC-hit latency as the spy observes it.
@@ -126,21 +266,54 @@ func (s *Spy) HitLatency() uint64 { return s.hitLat }
 // MissLatency returns the calibrated memory latency as the spy observes it.
 func (s *Spy) MissLatency() uint64 { return s.missLat }
 
+// Calibrated reports whether calibration found a separating hit/miss edge.
+// False means the edge estimate is a placeholder and every threshold
+// derived from it is untrustworthy — the explicit replacement for the old
+// silent missLat = hitLat+1 fallback.
+func (s *Spy) Calibrated() bool { return !s.degenerate }
+
+// NoiseSpread returns the calibrated estimate of the timer's jitter range
+// in cycles (~2N for one-sided jitter of magnitude N; 0 for a sharp
+// timer). Monitors use it to set thresholds the jitter cannot cross and to
+// detect when they cannot.
+func (s *Spy) NoiseSpread() uint64 { return s.spread }
+
+// AmplificationFactor returns the adaptive K the conflict test uses
+// (1 = unamplified; meaningful only for the amplified strategy).
+func (s *Spy) AmplificationFactor() int {
+	if s.factor < 1 {
+		return 1
+	}
+	return s.factor
+}
+
 // Evicts reports whether accessing every address in set evicts victim:
 // load victim, walk the set, reload victim and compare against the
 // hit/miss midpoint. This is the conflict test eviction-set construction
 // is built from. Positives are confirmed with a retrial because background
 // noise can evict the victim by accident.
+//
+// The amplified strategy repeats the (walk, reload) round K times per
+// trial and averages the timed reloads: if the set evicts the victim,
+// every round's reload misses, so the latency delta grows linearly in K
+// while the one-sided timer jitter of the K readings averages down
+// ~sqrt(K). K comes from the calibrated noise floor (AmplificationFactor).
 func (s *Spy) Evicts(set []uint64, victim uint64) bool {
 	pos := 0
 	for trial := 0; trial < 3; trial++ {
 		s.tb.Sync()
-		s.Touch(victim)
-		for _, a := range set {
-			s.Touch(a)
+		var evicted bool
+		if s.strat.Amplify {
+			evicted = s.reloadRounds(set, victim)
+		} else {
+			s.Touch(victim)
+			for _, a := range set {
+				s.Touch(a)
+			}
+			lat := s.Touch(victim)
+			evicted = lat > (s.hitLat+s.missLat)/2
 		}
-		lat := s.Touch(victim)
-		if lat > (s.hitLat+s.missLat)/2 {
+		if evicted {
 			pos++
 		} else {
 			// A miss can be spurious (noise); a hit cannot be — the
@@ -152,4 +325,47 @@ func (s *Spy) Evicts(set []uint64, victim uint64) bool {
 		}
 	}
 	return pos >= 2
+}
+
+// reloadRounds is one amplified conflict-test trial: K rounds of
+// untimed-walk + timed victim reload. The decision compares the summed
+// reload readings against K midpoints; the calibrated midpoint already
+// carries the jitter's mean (both levels are observed medians), so the
+// comparison is centered and the residual is the sqrt(K)-averaged noise.
+func (s *Spy) reloadRounds(set []uint64, victim uint64) bool {
+	k := s.AmplificationFactor()
+	s.load(victim)
+	var obs uint64
+	for r := 0; r < k; r++ {
+		for _, a := range set {
+			s.load(a)
+		}
+		obs += s.Touch(victim)
+	}
+	return obs > uint64(k)*(s.hitLat+s.missLat)/2
+}
+
+// median returns the rounded median of the samples (not modifying them).
+func median(xs []uint64) uint64 {
+	sorted := append([]uint64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2] + 1) / 2
+}
+
+// spreadOf returns max-min of the samples — the observed jitter range.
+func spreadOf(xs []uint64) uint64 {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
 }

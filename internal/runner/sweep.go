@@ -12,8 +12,11 @@ import (
 	"repro/internal/sim"
 )
 
-// SweepSchemaVersion identifies the sweep JSON document layout.
-const SweepSchemaVersion = "packetchasing-sweep/v1"
+// SweepSchemaVersion identifies the sweep JSON document layout. v2 added
+// the per-cell "labels" map: categorical coordinates (defense axes) are
+// now identified by name alongside their numeric registry index, so a
+// report's meaning no longer shifts when the registry order does.
+const SweepSchemaVersion = "packetchasing-sweep/v2"
 
 // SweepReport is the aggregated outcome of one grid sweep. Like Report,
 // its JSON encoding excludes everything nondeterministic: for a fixed
@@ -39,8 +42,13 @@ type CellReport struct {
 	Key string `json:"key"`
 	// Coords is the cell's position as an axis->value map.
 	Coords map[string]float64 `json:"coords"`
-	OK     bool               `json:"ok"`
-	Error  string             `json:"error,omitempty"`
+	// Labels names the cell's categorical coordinates (axis->label, e.g.
+	// "defense" -> "adaptive-partition"); absent for purely numeric cells.
+	// Coords keeps the numeric registry index for plotting, but the label
+	// is the stable identity — indices change with registry order.
+	Labels map[string]string `json:"labels,omitempty"`
+	OK     bool              `json:"ok"`
+	Error  string            `json:"error,omitempty"`
 	// Metrics aggregates the cell's trials like an experiment's.
 	Metrics []MetricSummary `json:"metrics,omitempty"`
 
@@ -196,6 +204,7 @@ func RunSweep(sw experiments.Sweep, opts Options) (*SweepReport, error) {
 		rep.Cells = append(rep.Cells, CellReport{
 			Key:     cell.Key(),
 			Coords:  cell.Coords(),
+			Labels:  cell.Labels(),
 			OK:      agg.OK,
 			Error:   agg.Error,
 			Metrics: agg.Metrics,

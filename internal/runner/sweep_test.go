@@ -94,6 +94,44 @@ func TestSweepCellsOrderedAndKeyed(t *testing.T) {
 	}
 }
 
+// TestSweepReportCarriesLabels asserts categorical coordinates survive
+// into the report: a labeled axis cell must serialize its label alongside
+// the numeric coordinate, because the number alone (a registry index)
+// changes meaning whenever the registry order does.
+func TestSweepReportCarriesLabels(t *testing.T) {
+	sw := fakeSweep()
+	sw.Grid = scenario.Grid{
+		{Name: "defense", Values: []float64{0, 1}, Labels: []string{"none", "no-ddio"}},
+		{Name: "y", Values: []float64{10}},
+	}
+	rep, err := RunSweep(sw, Options{Scale: experiments.Demo, Seed: 1, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells want 2", len(rep.Cells))
+	}
+	for i, want := range []string{"none", "no-ddio"} {
+		c := rep.Cells[i]
+		if c.Labels["defense"] != want {
+			t.Errorf("cell %d labels = %v, want defense=%s", i, c.Labels, want)
+		}
+		if _, ok := c.Labels["y"]; ok {
+			t.Errorf("numeric axis y must not be labeled: %v", c.Labels)
+		}
+		if c.Coords["defense"] != float64(i) {
+			t.Errorf("cell %d numeric coord lost: %v", i, c.Coords)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"labels"`)) {
+		t.Error("sweep JSON lacks the labels field")
+	}
+}
+
 // TestCellSeedsDistinct guards the decorrelation of per-cell trial seeds
 // across every registered sweep's whole grid.
 func TestCellSeedsDistinct(t *testing.T) {

@@ -171,10 +171,30 @@ func (c Cell) Value(name string) (float64, bool) {
 
 // Coords returns the cell as an axis->value map (JSON reporting; Go
 // marshals maps with sorted keys, so the encoding is deterministic).
+// Categorical axes appear here as their numeric coordinates (e.g. defense
+// registry indices) — pair with Labels, which carries the meaning; the
+// index alone silently changes whenever the registry order does.
 func (c Cell) Coords() map[string]float64 {
 	m := make(map[string]float64, len(c.axes))
 	for i, a := range c.axes {
 		m[a] = c.values[i]
+	}
+	return m
+}
+
+// Labels returns the cell's categorical coordinates as an axis->label map
+// (nil when no axis is labeled). Sweep reports emit it alongside Coords so
+// a defense cell is identified by its registry *name*, not just an index
+// whose meaning shifts with registry order.
+func (c Cell) Labels() map[string]string {
+	var m map[string]string
+	for i, a := range c.axes {
+		if i < len(c.labels) && c.labels[i] != "" {
+			if m == nil {
+				m = make(map[string]string)
+			}
+			m[a] = c.labels[i]
+		}
 	}
 	return m
 }
