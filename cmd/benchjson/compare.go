@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// compareDoc checks a freshly measured document against a committed
+// baseline and reports per-benchmark regressions.
+//
+// Raw ns/op is not comparable across machines, so times are normalized
+// first: the median of the per-benchmark current/baseline ratios is
+// taken as the machine-speed factor, and a benchmark regresses only when
+// its own ratio exceeds the median by more than the tolerance. A uniform
+// slowdown (slower CI runner) cancels out; a single hot path getting
+// slower relative to its peers does not. Allocations are deterministic
+// and compared directly (with one alloc of slack for runtime noise), and
+// warm/cold speedup pairs — already self-normalized ratios — must not
+// shrink by more than the tolerance. A benchmark present in the baseline
+// but missing from the current run is a regression too: deleting a
+// benchmark silently unpins the win it was guarding.
+type comparison struct {
+	lines  []string
+	failed bool
+}
+
+func (c *comparison) report(format string, args ...any) {
+	c.lines = append(c.lines, fmt.Sprintf(format, args...))
+}
+
+func (c *comparison) fail(format string, args ...any) {
+	c.failed = true
+	c.report("REGRESSION: "+format, args...)
+}
+
+func compareDocs(base, cur *Document, tol float64) *comparison {
+	c := &comparison{}
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+
+	// Machine-speed normalizer: median current/baseline time ratio.
+	var ratios []float64
+	for _, b := range base.Benchmarks {
+		if n, ok := curBy[b.Name]; ok && b.NsPerOp > 0 {
+			ratios = append(ratios, n.NsPerOp/b.NsPerOp)
+		}
+	}
+	if len(ratios) == 0 {
+		c.fail("no benchmarks shared with the baseline")
+		return c
+	}
+	sort.Float64s(ratios)
+	norm := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		norm = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	c.report("machine-speed normalizer: x%.3f (median of %d time ratios), tolerance %d%%",
+		norm, len(ratios), int(tol*100))
+
+	for _, b := range base.Benchmarks {
+		n, ok := curBy[b.Name]
+		if !ok {
+			c.fail("%s present in baseline but not measured", b.Name)
+			continue
+		}
+		rel := n.NsPerOp / b.NsPerOp / norm
+		if rel > 1+tol {
+			c.fail("%s time x%.2f vs baseline after normalization (%.0f -> %.0f ns/op)",
+				b.Name, rel, b.NsPerOp, n.NsPerOp)
+		} else {
+			c.report("ok: %s time x%.2f (%.0f -> %.0f ns/op)", b.Name, rel, b.NsPerOp, n.NsPerOp)
+		}
+		if n.AllocsPerOp > b.AllocsPerOp*(1+tol) && n.AllocsPerOp > b.AllocsPerOp+1 {
+			c.fail("%s allocs/op %.0f -> %.0f", b.Name, b.AllocsPerOp, n.AllocsPerOp)
+		}
+	}
+
+	curSpeed := make(map[string]Speedup, len(cur.Speedups))
+	for _, s := range cur.Speedups {
+		curSpeed[s.Pair] = s
+	}
+	for _, s := range base.Speedups {
+		n, ok := curSpeed[s.Pair]
+		if !ok {
+			continue // a missing pair is already flagged by the name check
+		}
+		if n.Speedup < s.Speedup*(1-tol) {
+			c.fail("%s warm-start speedup %.2fx -> %.2fx", s.Pair, s.Speedup, n.Speedup)
+		} else {
+			c.report("ok: %s warm-start speedup %.2fx -> %.2fx", s.Pair, s.Speedup, n.Speedup)
+		}
+	}
+	return c
+}
+
+// runCompare parses fresh `go test -bench` text from r, loads the
+// baseline document, and writes the comparison report to w. It returns
+// false when any benchmark regressed.
+func runCompare(r io.Reader, w io.Writer, baselinePath string, tol float64) (bool, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != Schema {
+		return false, fmt.Errorf("baseline %s: schema %q, want %q", baselinePath, base.Schema, Schema)
+	}
+	cur, err := parseReader(r)
+	if err != nil {
+		return false, err
+	}
+	c := compareDocs(&base, cur, tol)
+	fmt.Fprintln(w, strings.Join(c.lines, "\n"))
+	return !c.failed, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 10, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func docOf(bs ...Benchmark) *Document {
+	return &Document{Schema: Schema, Benchmarks: bs, Speedups: deriveSpeedups(bs)}
+}
+
+// A uniformly 2x-slower machine is not a regression: the median
+// normalizer absorbs the whole shift.
+func TestCompareNormalizesMachineSpeed(t *testing.T) {
+	base := docOf(bench("BenchmarkA", 100, 2), bench("BenchmarkB", 1000, 0), bench("BenchmarkC", 50, 1))
+	cur := docOf(bench("BenchmarkA", 200, 2), bench("BenchmarkB", 2000, 0), bench("BenchmarkC", 100, 1))
+	if c := compareDocs(base, cur, 0.15); c.failed {
+		t.Fatalf("uniform slowdown flagged as regression:\n%s", strings.Join(c.lines, "\n"))
+	}
+}
+
+// One benchmark slowing relative to its peers is flagged even when the
+// machine is otherwise faster.
+func TestCompareCatchesRelativeSlowdown(t *testing.T) {
+	base := docOf(bench("BenchmarkA", 100, 0), bench("BenchmarkB", 1000, 0), bench("BenchmarkC", 50, 0))
+	cur := docOf(bench("BenchmarkA", 90, 0), bench("BenchmarkB", 900, 0), bench("BenchmarkC", 80, 0))
+	c := compareDocs(base, cur, 0.15)
+	if !c.failed {
+		t.Fatal("relative slowdown of BenchmarkC not flagged")
+	}
+	if joined := strings.Join(c.lines, "\n"); !strings.Contains(joined, "BenchmarkC") {
+		t.Errorf("report does not name the regressed benchmark:\n%s", joined)
+	}
+}
+
+func TestCompareCatchesAllocGrowth(t *testing.T) {
+	base := docOf(bench("BenchmarkA", 100, 2), bench("BenchmarkB", 100, 0))
+	cur := docOf(bench("BenchmarkA", 100, 8), bench("BenchmarkB", 100, 0))
+	if c := compareDocs(base, cur, 0.15); !c.failed {
+		t.Fatal("alloc growth not flagged")
+	}
+	// One alloc of slack is allowed (runtime noise around boundaries).
+	cur = docOf(bench("BenchmarkA", 100, 3), bench("BenchmarkB", 100, 0))
+	if c := compareDocs(base, cur, 0.15); c.failed {
+		t.Fatalf("one-alloc slack not honored:\n%s", strings.Join(c.lines, "\n"))
+	}
+}
+
+func TestCompareCatchesMissingBenchmark(t *testing.T) {
+	base := docOf(bench("BenchmarkA", 100, 0), bench("BenchmarkB", 100, 0))
+	cur := docOf(bench("BenchmarkA", 100, 0))
+	if c := compareDocs(base, cur, 0.15); !c.failed {
+		t.Fatal("missing benchmark not flagged")
+	}
+}
+
+// Warm/cold speedup pairs are self-normalized and must not shrink.
+func TestCompareCatchesSpeedupLoss(t *testing.T) {
+	base := docOf(bench("BenchmarkXCold", 300, 0), bench("BenchmarkXWarm", 100, 0),
+		bench("BenchmarkY", 100, 0))
+	cur := docOf(bench("BenchmarkXCold", 300, 0), bench("BenchmarkXWarm", 250, 0),
+		bench("BenchmarkY", 100, 0))
+	if c := compareDocs(base, cur, 0.15); !c.failed {
+		t.Fatal("speedup collapse (3.0x -> 1.2x) not flagged")
+	}
+}

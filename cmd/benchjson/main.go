@@ -6,17 +6,26 @@
 // Usage:
 //
 //	go test -run '^$' -bench Runner -benchtime 2x ./internal/runner | benchjson > BENCH_runner.json
+//	go test -run '^$' -bench . ./internal/... | benchjson -compare BENCH_runner.json
 //
 // Lines that are not benchmark results (the pkg/cpu preamble, PASS/ok
 // trailers) are ignored. For every Cold/Warm benchmark pair sharing a
 // prefix (BenchmarkFooCold / BenchmarkFooWarm) a derived speedup entry is
 // emitted, which is the headline number of the warm-start runner work.
+//
+// -compare switches to regression-gate mode: instead of emitting JSON,
+// the freshly parsed results are checked against the committed baseline
+// document and the program exits 1 when any benchmark slowed by more
+// than -tolerance (default 0.15) after median normalization for machine
+// speed, grew its allocations, lost its warm-start speedup, or vanished.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -50,13 +59,23 @@ type Document struct {
 }
 
 func main() {
-	doc, err := parse(bufio.NewScanner(os.Stdin))
+	compare := flag.String("compare", "", "baseline BENCH_*.json: gate stdin's results against it instead of emitting JSON")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown per benchmark in -compare mode")
+	flag.Parse()
+	if *compare != "" {
+		ok, err := runCompare(os.Stdin, os.Stdout, *compare, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	doc, err := parseReader(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	if len(doc.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -65,6 +84,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// parseReader parses bench text, insisting on at least one result line.
+func parseReader(r io.Reader) (*Document, error) {
+	doc, err := parse(bufio.NewScanner(r))
+	if err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return doc, nil
 }
 
 func parse(sc *bufio.Scanner) (*Document, error) {

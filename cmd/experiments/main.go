@@ -6,7 +6,8 @@
 //
 //	experiments [-exp id,id,...|all] [-scale demo|paper] [-seed N]
 //	            [-trials T] [-parallel N] [-warm|-cold] [-artifact-dir dir]
-//	            [-format text|json] [-o file]
+//	            [-checkpoint-dir dir] [-resume] [-trial-budget N]
+//	            [-format text|json] [-o file] [-v|-q]
 //	experiments -sweep id [same flags]
 //
 // Experiment ids follow the paper: fig5..fig16, table1, table2,
@@ -45,11 +46,26 @@
 // entirely. The output bytes are identical in every mode; only the wall
 // clock differs.
 //
+// -checkpoint-dir journals every completed trial to a content-addressed
+// file keyed by the run's identity (kind, sweep id, scale, seed, trials).
+// A later invocation with -resume replays the journaled trials and runs
+// only what is missing; the emitted report is byte-identical to an
+// uninterrupted run. -trial-budget N bounds how many trials one
+// invocation executes (replayed trials are free), so a long sweep can be
+// split across invocations — or a CI job can deliberately stop partway
+// and prove resume correctness.
+//
+// Progress on stderr defaults to a throttled one-line summary
+// (done/total, percentage, ETA); -v restores the per-trial log and -q
+// silences both.
+//
 // Exit status: 0 when every selected experiment (or sweep cell)
-// succeeded, 1 when any failed, 2 on usage errors.
+// succeeded, 1 when any failed, 2 on usage errors, 3 when -trial-budget
+// stopped the run before completion.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -76,18 +92,23 @@ func run() int {
 	warm := flag.Bool("warm", true, "reuse offline artifacts (eviction sets, machine snapshots) across trials and sweep cells")
 	cold := flag.Bool("cold", false, "rebuild the (shared, trial-0-seeded) offline artifacts for every trial instead of caching them (overrides -warm; results are byte-identical either way)")
 	artifactDir := flag.String("artifact-dir", "", "persist offline artifacts to this directory, content-addressed, so repeated invocations skip offline phases (warm mode only; results are byte-identical either way)")
+	checkpointDir := flag.String("checkpoint-dir", "", "journal each completed trial to this directory, keyed by the run identity (results are byte-identical either way)")
+	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint-dir journal and execute only the rest")
+	trialBudget := flag.Int("trial-budget", 0, "execute at most N trials this invocation (0 = unlimited; requires -checkpoint-dir; exit status 3 when work remains)")
 	format := flag.String("format", "text", "output format: text or json")
 	out := flag.String("o", "", "write results to file instead of stdout")
-	quiet := flag.Bool("q", false, "suppress per-trial progress on stderr")
+	verbose := flag.Bool("v", false, "per-trial progress lines on stderr instead of the throttled summary")
+	quiet := flag.Bool("q", false, "suppress all progress on stderr")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-18s %s\n", e.ID, e.Short)
-		}
-		for _, s := range experiments.Sweeps() {
-			fmt.Printf("%-18s [sweep, %d cells] %s\n", s.ID, s.Grid.Size(), s.Short)
+		for _, e := range experiments.Registry() {
+			if e.Kind == experiments.KindSweep {
+				fmt.Printf("%-18s [sweep, %d cells] %s\n", e.ID, e.Grid.Size(), e.Short)
+			} else {
+				fmt.Printf("%-18s %s\n", e.ID, e.Short)
+			}
 		}
 		return 0
 	}
@@ -116,22 +137,22 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "-sweep and -exp are mutually exclusive\n")
 			return 2
 		}
-		s, ok := experiments.SweepByID(*sweep)
-		if !ok {
+		ent, ok := experiments.Lookup(*sweep)
+		if !ok || ent.Kind != experiments.KindSweep {
 			fmt.Fprintf(os.Stderr, "unknown sweep %q (use -list)\n", *sweep)
 			return 2
 		}
-		sweepSel = s
+		sweepSel = ent.Sweep
 	} else if *exp == "all" {
 		selected = experiments.All()
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
-			e, ok := experiments.ByID(strings.TrimSpace(id))
-			if !ok {
+			ent, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok || ent.Kind != experiments.KindExperiment {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 				return 2
 			}
-			selected = append(selected, e)
+			selected = append(selected, ent.Experiment)
 		}
 	}
 
@@ -161,15 +182,21 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "-artifact-dir requires warm mode (drop -cold)\n")
 		return 2
 	}
-	ropts := runner.Options{
-		Scale:       scale,
-		Seed:        *seed,
-		Trials:      *trials,
-		Parallel:    width,
-		Warm:        *warm && !*cold,
-		ArtifactDir: *artifactDir,
-		Progress:    progress,
+	if (*resume || *trialBudget > 0) && *checkpointDir == "" {
+		fmt.Fprintf(os.Stderr, "-resume and -trial-budget require -checkpoint-dir\n")
+		return 2
 	}
+	rn := runner.New(runner.Config{
+		Parallel:      width,
+		Warm:          *warm && !*cold,
+		ArtifactDir:   *artifactDir,
+		CheckpointDir: *checkpointDir,
+		Resume:        *resume,
+		TrialBudget:   *trialBudget,
+		Progress:      progress,
+		Verbose:       *verbose,
+	})
+	job := runner.Job{Scale: scale, Seed: *seed, Trials: *trials}
 	// Both report kinds share the output and exit-status contract.
 	var rep interface {
 		WriteJSON(io.Writer) error
@@ -184,9 +211,12 @@ func run() int {
 			fmt.Fprintf(progress, "sweeping %s: %d cell(s) x %d trial(s) on %d worker(s), %s scale, seed %d\n",
 				sweepSel.ID, sweepSel.Grid.Size(), *trials, width, scale, *seed)
 		}
-		r, err := runner.RunSweep(sweepSel, ropts)
+		r, err := rn.RunSweep(sweepSel, job)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runner: %v\n", err)
+			if errors.Is(err, runner.ErrBudget) {
+				return 3
+			}
 			return 2
 		}
 		rep, total, unit = r, len(r.Cells), "cell"
@@ -195,15 +225,18 @@ func run() int {
 			fmt.Fprintf(progress, "running %d experiment(s) x %d trial(s) on %d worker(s), %s scale, seed %d\n",
 				len(selected), *trials, width, scale, *seed)
 		}
-		r, err := runner.Run(selected, ropts)
+		r, err := rn.Run(selected, job)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runner: %v\n", err)
+			if errors.Is(err, runner.ErrBudget) {
+				return 3
+			}
 			return 2
 		}
 		rep, total = r, len(r.Experiments)
 	}
 	if progress != nil {
-		fmt.Fprintf(progress, "sweep finished in %.1fs wall\n", time.Since(start).Seconds())
+		fmt.Fprintf(progress, "finished in %.1fs wall\n", time.Since(start).Seconds())
 	}
 
 	var werr error

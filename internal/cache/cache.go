@@ -61,12 +61,24 @@ func (s Stats) MissRate() float64 {
 // Cache is the simulated last-level cache. It is single-goroutine, like the
 // rest of the simulation core.
 type Cache struct {
-	cfg    Config
-	clock  *sim.Clock
-	sets   [][]line   // [globalSet][way]
+	cfg   Config
+	clock *sim.Clock
+	// lines is the flat [set*ways+way] line array. The per-set slice-of-
+	// slices layout this replaced cost every access an extra pointer load
+	// and bounds check on the simulator's hottest path; setWays carves
+	// set views out of the flat array with pure index math instead.
+	lines  []line
+	ways   int        // cfg.Ways, kept flat for the indexing hot path
 	pstate []setState // only used when cfg.Partition != nil
 	nextID uint64     // LRU stamp source
 	stats  Stats
+}
+
+// setWays returns the ways of one global set as a view into the flat
+// line array.
+func (c *Cache) setWays(set int) []line {
+	base := set * c.ways
+	return c.lines[base : base+c.ways : base+c.ways]
 }
 
 // New builds a cache; it panics on an invalid config (configs are
@@ -76,12 +88,8 @@ func New(cfg Config, clock *sim.Clock) *Cache {
 		panic(err)
 	}
 	total := cfg.TotalSets()
-	c := &Cache{cfg: cfg, clock: clock}
-	c.sets = make([][]line, total)
-	backing := make([]line, total*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
+	c := &Cache{cfg: cfg, clock: clock, ways: cfg.Ways}
+	c.lines = make([]line, total*cfg.Ways)
 	if cfg.Partition != nil {
 		c.pstate = make([]setState, total)
 		for i := range c.pstate {
@@ -118,7 +126,7 @@ func (c *Cache) cpuAccess(addr uint64, store bool) (bool, uint64) {
 	set := c.cfg.GlobalSet(addr)
 	c.maybeAdapt(set)
 	tag := addr >> 6
-	ways := c.sets[set]
+	ways := c.setWays(set)
 	c.stats.CPUAccesses++
 	if w := c.lookup(ways, tag); w >= 0 {
 		c.stats.CPUHits++
@@ -146,7 +154,7 @@ func (c *Cache) IOWrite(addr uint64) {
 	set := c.cfg.GlobalSet(addr)
 	c.maybeAdapt(set)
 	tag := addr >> 6
-	ways := c.sets[set]
+	ways := c.setWays(set)
 	c.stats.IOWrites++
 
 	if !c.cfg.DDIO && c.cfg.Partition == nil {
@@ -180,9 +188,9 @@ func (c *Cache) IOWrite(addr uint64) {
 		return
 	}
 	switch {
-	case !c.sets[set][w].valid:
+	case !ways[w].valid:
 		c.stats.IOAllocsInvalid++
-	case c.sets[set][w].io:
+	case ways[w].io:
 		c.stats.IOAllocsEvictIO++
 	default:
 		c.stats.IOEvictedCPU++ // the leak: DMA displaced a CPU line
@@ -199,7 +207,7 @@ func (c *Cache) IOWrite(addr uint64) {
 func (c *Cache) Flush(addr uint64) {
 	set := c.cfg.GlobalSet(addr)
 	tag := addr >> 6
-	ways := c.sets[set]
+	ways := c.setWays(set)
 	if w := c.lookup(ways, tag); w >= 0 {
 		c.evict(set, w)
 		ways[w].valid = false
@@ -212,13 +220,13 @@ func (c *Cache) Flush(addr uint64) {
 // attack code.
 func (c *Cache) Contains(addr uint64) bool {
 	set := c.cfg.GlobalSet(addr)
-	return c.lookup(c.sets[set], addr>>6) >= 0
+	return c.lookup(c.setWays(set), addr>>6) >= 0
 }
 
 // IOLinesInSet counts valid I/O-owned lines in the global set (test oracle).
 func (c *Cache) IOLinesInSet(set int) int {
 	n := 0
-	for _, l := range c.sets[set] {
+	for _, l := range c.setWays(set) {
 		if l.valid && l.io {
 			n++
 		}
@@ -252,7 +260,7 @@ func (c *Cache) lookup(ways []line, tag uint64) int {
 // evict writes back the victim if dirty. The slot is left to be overwritten
 // by the caller.
 func (c *Cache) evict(set, w int) {
-	l := &c.sets[set][w]
+	l := &c.lines[set*c.ways+w]
 	if l.valid && l.dirty {
 		c.stats.MemWrites++
 		c.stats.Writebacks++
@@ -261,7 +269,7 @@ func (c *Cache) evict(set, w int) {
 
 // victimCPU picks the way a CPU allocation replaces.
 func (c *Cache) victimCPU(set int) int {
-	ways := c.sets[set]
+	ways := c.setWays(set)
 	if c.pstate != nil {
 		// Defense: CPU lines live in ways [quota, Ways).
 		q := c.pstate[set].quota
@@ -273,7 +281,7 @@ func (c *Cache) victimCPU(set int) int {
 // victimIO picks the way an I/O allocation replaces; ok=false means the
 // write must bypass the cache.
 func (c *Cache) victimIO(set int) (int, bool) {
-	ways := c.sets[set]
+	ways := c.setWays(set)
 	if c.pstate != nil {
 		// Defense: I/O confined to ways [0, quota). The quota region is
 		// reserved, so there is always a usable way.
@@ -337,7 +345,7 @@ func (c *Cache) refreshHasIO(set int) {
 	st := &c.pstate[set]
 	c.integrateOccupancy(st)
 	has := false
-	for _, l := range c.sets[set] {
+	for _, l := range c.setWays(set) {
 		if l.valid && l.io {
 			has = true
 			break
@@ -389,7 +397,7 @@ func (c *Cache) maybeAdapt(set int) {
 // partitions, with writeback if dirty (§VII: "we invalidate the cache
 // blocks that are affected and perform any necessary writebacks").
 func (c *Cache) invalidateWay(set, w int) {
-	l := &c.sets[set][w]
+	l := &c.lines[set*c.ways+w]
 	if !l.valid {
 		return
 	}

@@ -35,12 +35,9 @@ func geometryKey(cfg Config) string {
 func (c *Cache) Snapshot() *Snapshot {
 	s := &Snapshot{
 		geometry: geometryKey(c.cfg),
-		lines:    make([]line, 0, len(c.sets)*c.cfg.Ways),
+		lines:    append([]line(nil), c.lines...),
 		nextID:   c.nextID,
 		stats:    c.stats,
-	}
-	for _, ways := range c.sets {
-		s.lines = append(s.lines, ways...)
 	}
 	if c.pstate != nil {
 		s.pstate = append([]setState(nil), c.pstate...)
@@ -55,9 +52,7 @@ func (c *Cache) Restore(s *Snapshot) {
 	if got := geometryKey(c.cfg); got != s.geometry {
 		panic(fmt.Sprintf("cache: restoring snapshot of %q into %q", s.geometry, got))
 	}
-	for i, ways := range c.sets {
-		copy(ways, s.lines[i*c.cfg.Ways:(i+1)*c.cfg.Ways])
-	}
+	copy(c.lines, s.lines)
 	if c.pstate != nil {
 		copy(c.pstate, s.pstate)
 	}

@@ -15,7 +15,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -45,8 +44,12 @@ func (a Addr) Page() Addr { return a &^ (PageSize - 1) }
 // allocator; sequential physical allocation would (unrealistically) give
 // the driver a perfectly uniform buffer-to-set mapping.
 type Allocator struct {
-	free     []uint64 // shuffled free frame numbers, consumed from the tail
-	used     map[uint64]bool
+	free []uint64 // shuffled free frame numbers, consumed from the tail
+	// used is a frame-number bitmap. It replaced a map[uint64]bool: the
+	// bitmap allocs/frees without hashing, and — the reason it matters —
+	// snapshots and restores with a memcpy instead of a map rebuild,
+	// which sat on the warm-start clone path of every trial.
+	used     []bool
 	numPages uint64
 }
 
@@ -62,7 +65,7 @@ func NewAllocator(totalBytes uint64, rng *sim.RNG) *Allocator {
 		free[i] = uint64(i)
 	}
 	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
-	return &Allocator{free: free, used: make(map[uint64]bool), numPages: n}
+	return &Allocator{free: free, used: make([]bool, n), numPages: n}
 }
 
 // TotalPages returns the number of physical pages.
@@ -81,7 +84,7 @@ func NewAllocatorShell(totalBytes uint64) *Allocator {
 	if n == 0 {
 		panic("mem: allocator needs at least one page")
 	}
-	return &Allocator{used: make(map[uint64]bool), numPages: n}
+	return &Allocator{used: make([]bool, n), numPages: n}
 }
 
 // AllocatorState is a deep copy of an allocator's free/used bookkeeping,
@@ -89,20 +92,16 @@ func NewAllocatorShell(totalBytes uint64) *Allocator {
 // of the state: it determines every future allocation.
 type AllocatorState struct {
 	free     []uint64
-	used     map[uint64]bool
+	used     []bool // frame-number bitmap, like Allocator.used
 	numPages uint64
 }
 
 // Snapshot captures the allocator's state. The returned value is immutable
 // and safe to restore into any allocator built over the same memory size.
 func (al *Allocator) Snapshot() *AllocatorState {
-	used := make(map[uint64]bool, len(al.used))
-	for k := range al.used {
-		used[k] = true
-	}
 	return &AllocatorState{
 		free:     append([]uint64(nil), al.free...),
-		used:     used,
+		used:     append([]bool(nil), al.used...),
 		numPages: al.numPages,
 	}
 }
@@ -121,13 +120,15 @@ type allocatorStateGob struct {
 func (st *AllocatorState) GobEncode() ([]byte, error) {
 	w := allocatorStateGob{
 		Free:     st.free,
-		Used:     make([]uint64, 0, len(st.used)),
 		NumPages: st.numPages,
 	}
-	for pfn := range st.used {
-		w.Used = append(w.Used, pfn)
+	// Ascending bitmap order is already the sorted canonical encoding the
+	// map-backed implementation produced.
+	for pfn, u := range st.used {
+		if u {
+			w.Used = append(w.Used, uint64(pfn))
+		}
 	}
-	sort.Slice(w.Used, func(i, j int) bool { return w.Used[i] < w.Used[j] })
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, err
@@ -143,7 +144,7 @@ func (st *AllocatorState) GobDecode(b []byte) error {
 	}
 	st.free = w.Free
 	st.numPages = w.NumPages
-	st.used = make(map[uint64]bool, len(w.Used))
+	st.used = make([]bool, w.NumPages)
 	for _, pfn := range w.Used {
 		st.used[pfn] = true
 	}
@@ -157,10 +158,7 @@ func (al *Allocator) Restore(st *AllocatorState) {
 		panic(fmt.Sprintf("mem: restoring %d-page snapshot into %d-page allocator", st.numPages, al.numPages))
 	}
 	al.free = append(al.free[:0:0], st.free...)
-	al.used = make(map[uint64]bool, len(st.used))
-	for k := range st.used {
-		al.used[k] = true
-	}
+	al.used = append(al.used[:0:0], st.used...)
 }
 
 // AllocPage returns the base address of a newly allocated physical page.
@@ -216,10 +214,10 @@ func (al *Allocator) FreePage(a Addr) {
 		panic(fmt.Sprintf("mem: freeing unaligned address %#x", uint64(a)))
 	}
 	pfn := uint64(a) / PageSize
-	if !al.used[pfn] {
+	if pfn >= al.numPages || !al.used[pfn] {
 		panic(fmt.Sprintf("mem: double free of frame %d", pfn))
 	}
-	delete(al.used, pfn)
+	al.used[pfn] = false
 	al.free = append(al.free, pfn)
 }
 

@@ -1,0 +1,53 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+// The spy's load helpers are the attack-side hot path: every prime, walk,
+// and timed reload of every monitor goes through them. These benchmarks
+// pin the per-access cost with the testbed's cache and clock cached in
+// the Spy (no accessor round-trip per load) and the conflict test built
+// on top of it.
+
+func benchSpy(b *testing.B) *Spy {
+	b.Helper()
+	tb, err := testbed.New(testbed.DefaultOptions(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSpy(tb, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkSpyTouch(b *testing.B) {
+	s := benchSpy(b)
+	base := s.PageBase(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Touch(base + uint64(i%64)*64)
+	}
+}
+
+// BenchmarkSpyEvicts runs the conflict test over a fixed candidate set —
+// the operation eviction-set construction repeats thousands of times per
+// offline phase.
+func BenchmarkSpyEvicts(b *testing.B) {
+	s := benchSpy(b)
+	victim := s.PageBase(0)
+	set := make([]uint64, 16)
+	for i := range set {
+		set[i] = s.PageBase(i%s.Pages()) + uint64(i)*64
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Evicts(set, victim)
+	}
+}

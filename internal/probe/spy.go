@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/sim"
 	"repro/internal/testbed"
 )
 
@@ -28,6 +30,11 @@ type Spy struct {
 	tb     *testbed.Testbed
 	region *mem.Region
 	strat  Strategy
+	// cache and clock are the testbed's, cached at construction: every load
+	// the spy ever issues goes through them, and the accessor round-trip per
+	// access is measurable across a paper-scale probe schedule.
+	cache *cache.Cache
+	clock *sim.Clock
 	// OverheadPerAccess is the loop overhead in cycles charged per load
 	// on top of the memory latency.
 	OverheadPerAccess uint64
@@ -62,7 +69,8 @@ func NewSpyStrategy(tb *testbed.Testbed, pages int, strat Strategy) (*Spy, error
 	if err != nil {
 		return nil, fmt.Errorf("probe: spy region: %w", err)
 	}
-	s := &Spy{tb: tb, region: r, strat: strat.withDefaults(), OverheadPerAccess: 4}
+	s := &Spy{tb: tb, region: r, strat: strat.withDefaults(), OverheadPerAccess: 4,
+		cache: tb.Cache(), clock: tb.Clock()}
 	s.calibrate()
 	return s, nil
 }
@@ -107,6 +115,8 @@ func RestoreSpy(tb *testbed.Testbed, st SpyState) *Spy {
 	}
 	return &Spy{
 		tb:                tb,
+		cache:             tb.Cache(),
+		clock:             tb.Clock(),
 		region:            mem.RegionFromPages(st.Pages),
 		strat:             st.Strategy.withDefaults(),
 		OverheadPerAccess: st.OverheadPerAccess,
@@ -137,16 +147,16 @@ func (s *Spy) PageBase(i int) uint64 {
 // Touch loads one line, advancing simulated time by the true latency plus
 // loop overhead, and returns the latency as observed through the timer.
 func (s *Spy) Touch(addr uint64) uint64 {
-	_, lat := s.tb.Cache().Read(addr)
-	s.tb.Clock().Advance(lat + s.OverheadPerAccess)
+	_, lat := s.cache.Read(addr)
+	s.clock.Advance(lat + s.OverheadPerAccess)
 	return s.tb.TimerRead(lat)
 }
 
 // load performs an untimed load: the clock advances, but no timer reading
 // is taken (the attacker primes and walks without looking at the clock).
 func (s *Spy) load(addr uint64) {
-	_, lat := s.tb.Cache().Read(addr)
-	s.tb.Clock().Advance(lat + s.OverheadPerAccess)
+	_, lat := s.cache.Read(addr)
+	s.clock.Advance(lat + s.OverheadPerAccess)
 }
 
 // loadRaw performs a load and returns its TRUE latency without reading the
@@ -155,8 +165,8 @@ func (s *Spy) load(addr uint64) {
 // duration with a single TimerRead — two timer reads around a block of
 // work carry one quantization error regardless of the block's length.
 func (s *Spy) loadRaw(addr uint64) uint64 {
-	_, lat := s.tb.Cache().Read(addr)
-	s.tb.Clock().Advance(lat + s.OverheadPerAccess)
+	_, lat := s.cache.Read(addr)
+	s.clock.Advance(lat + s.OverheadPerAccess)
 	return lat
 }
 

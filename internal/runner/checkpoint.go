@@ -1,0 +1,243 @@
+package runner
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// checkpointFormatVersion identifies the journal layout. Bump it on any
+// incompatible change: the version participates in the content address,
+// so old-format journals are simply never found, not misread.
+const checkpointFormatVersion = "packetchasing-checkpoint/v1"
+
+// checkpointIdentity is the content address of one job's journal — the
+// same identity discipline that keys the artifact store. Two invocations
+// share a journal exactly when they would produce identical outcomes for
+// the units they have in common.
+type checkpointIdentity struct {
+	Kind   string `json:"kind"` // "experiments" or "sweep"
+	ID     string `json:"id"`   // sweep ID; empty for experiments (outcomes are selection-independent)
+	Scale  string `json:"scale"`
+	Seed   int64  `json:"seed"`
+	Trials int    `json:"trials"`
+}
+
+// filename derives the journal's content-addressed file name.
+func (id checkpointIdentity) filename() string {
+	key := fmt.Sprintf("%s|%s|%s|%s|%d|%d",
+		checkpointFormatVersion, id.Kind, id.ID, id.Scale, id.Seed, id.Trials)
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".journal"
+}
+
+// outcomeKey identifies one journal slot.
+type outcomeKey struct {
+	unit  string
+	trial int
+}
+
+// journalHeader is the journal's first line: the identity written in the
+// clear so a journal is self-describing and a tampered or misplaced file
+// is detected (the filename hash alone would also catch it, but the
+// header keeps the check independent of where the file sits).
+type journalHeader struct {
+	Format   string             `json:"format"`
+	Identity checkpointIdentity `json:"identity"`
+}
+
+// journalEntry is one completed (unit, trial) outcome. Result survives a
+// JSON round-trip exactly (float64 encodes shortest-round-trip), and a
+// failed trial's error string reconstructs the same aggregate message —
+// which is what makes a resumed report byte-identical to a clean one.
+type journalEntry struct {
+	Unit   string              `json:"unit"`
+	Trial  int                 `json:"trial"`
+	Failed bool                `json:"failed,omitempty"`
+	Error  string              `json:"error,omitempty"`
+	Result *experiments.Result `json:"result,omitempty"`
+	WallNS int64               `json:"wall_ns"`
+}
+
+// checkpointSink journals every executed outcome as one checksummed line:
+// "<sha256[:16]> <payload JSON>\n". Each line is self-validating, so a
+// torn final line from a killed process — or any corrupted line — is
+// skipped on load and its cell re-runs; the append that follows heals the
+// journal, mirroring the artifact store's corrupt-entry handling.
+type checkpointSink struct {
+	f *os.File
+}
+
+// openCheckpoint opens (or creates) the journal for ident under dir. When
+// resume is set the existing journal is loaded and appended to; otherwise
+// it is truncated — a fresh run must not inherit stale outcomes.
+func openCheckpoint(dir string, ident checkpointIdentity, resume bool) (*checkpointSink, map[outcomeKey]TrialOutcome, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+	}
+	path := filepath.Join(dir, ident.filename())
+	var replay map[outcomeKey]TrialOutcome
+	usable := false
+	if resume {
+		replay, usable = loadJournal(path, ident)
+	}
+	var f *os.File
+	var err error
+	if usable {
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	} else {
+		f, err = os.Create(path)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("runner: checkpoint journal: %w", err)
+	}
+	s := &checkpointSink{f: f}
+	if usable {
+		// A kill mid-write leaves a torn final line with no newline;
+		// terminate it so appended entries do not fuse onto it (the torn
+		// fragment itself fails its checksum and is skipped on load).
+		if err := s.terminateTornTail(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if !usable {
+		if err := s.writeLine(journalHeader{Format: checkpointFormatVersion, Identity: ident}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return s, replay, nil
+}
+
+func (s *checkpointSink) Put(o TrialOutcome) error {
+	if o.Resumed {
+		return nil // already journaled; re-appending would only grow the file
+	}
+	e := journalEntry{Unit: o.Unit, Trial: o.Trial, WallNS: int64(o.Wall)}
+	if o.Err != nil {
+		e.Failed = true
+		e.Error = o.Err.Error()
+	} else {
+		res := o.Result
+		e.Result = &res
+	}
+	return s.writeLine(e)
+}
+
+// terminateTornTail appends a newline if the journal's last byte is not
+// one, so a torn final line stays an isolated (checksum-failing) line
+// instead of corrupting the first entry appended after it.
+func (s *checkpointSink) terminateTornTail() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint journal: %w", err)
+	}
+	if info.Size() == 0 {
+		return nil
+	}
+	tail := make([]byte, 1)
+	if _, err := s.f.ReadAt(tail, info.Size()-1); err != nil {
+		return fmt.Errorf("runner: checkpoint journal: %w", err)
+	}
+	if tail[0] != '\n' {
+		if _, err := s.f.Write([]byte("\n")); err != nil {
+			return fmt.Errorf("runner: checkpoint journal: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *checkpointSink) writeLine(payload any) error {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint encode: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	if _, err := fmt.Fprintf(s.f, "%s %s\n", hex.EncodeToString(sum[:8]), b); err != nil {
+		return fmt.Errorf("runner: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+func (s *checkpointSink) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// loadJournal reads a journal, returning the outcomes of every valid
+// entry line (later lines win on duplicates) and whether the journal is
+// usable — present with a matching header. Invalid lines are skipped, not
+// fatal: the cells they would have covered simply re-run.
+func loadJournal(path string, ident checkpointIdentity) (map[outcomeKey]TrialOutcome, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+
+	if !sc.Scan() {
+		return nil, false
+	}
+	payload, ok := checkLine(sc.Text())
+	if !ok {
+		return nil, false
+	}
+	var hdr journalHeader
+	if json.Unmarshal(payload, &hdr) != nil ||
+		hdr.Format != checkpointFormatVersion || hdr.Identity != ident {
+		return nil, false
+	}
+
+	out := make(map[outcomeKey]TrialOutcome)
+	for sc.Scan() {
+		payload, ok := checkLine(sc.Text())
+		if !ok {
+			continue
+		}
+		var e journalEntry
+		if json.Unmarshal(payload, &e) != nil || e.Unit == "" {
+			continue
+		}
+		o := TrialOutcome{Unit: e.Unit, Trial: e.Trial, Wall: time.Duration(e.WallNS)}
+		switch {
+		case e.Failed:
+			o.Err = errors.New(e.Error)
+		case e.Result != nil:
+			o.Result = *e.Result
+		default:
+			continue // neither a result nor a failure: malformed
+		}
+		out[outcomeKey{unit: e.Unit, trial: e.Trial}] = o
+	}
+	return out, true
+}
+
+// checkLine validates one "<checksum> <payload>" journal line and returns
+// the payload.
+func checkLine(line string) ([]byte, bool) {
+	sumHex, payload, ok := strings.Cut(line, " ")
+	if !ok || len(sumHex) != 16 {
+		return nil, false
+	}
+	sum := sha256.Sum256([]byte(payload))
+	if hex.EncodeToString(sum[:8]) != sumHex {
+		return nil, false
+	}
+	return []byte(payload), true
+}

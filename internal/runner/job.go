@@ -1,0 +1,377 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Config is the execution environment a Runner applies to every job it
+// runs: pool width, artifact reuse, checkpointing, and progress output.
+// It deliberately excludes what is being measured — that is the Job — so
+// one configured Runner can execute many jobs, and so the fields that can
+// change report bytes (Job) are separated from the ones that must not
+// (Config).
+type Config struct {
+	// Parallel is the worker-pool width; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Warm enables offline-artifact reuse for phase-split experiments:
+	// one shared content-addressed store deduplicates Prepare work across
+	// trials (and, in RunSweep, across grid cells). A cold run (the zero
+	// value) rebuilds every artifact per trial. Warm and cold runs of the
+	// same job produce byte-identical reports; warm is purely a wall-clock
+	// optimization.
+	Warm bool
+	// ArtifactDir, when non-empty (warm mode only), backs the artifact
+	// store with a directory so repeated invocations skip offline phases
+	// entirely. Never changes report bytes.
+	ArtifactDir string
+	// CheckpointDir, when non-empty, journals every completed (unit,
+	// trial) outcome to a file under the directory, content-addressed by
+	// the job identity (kind, id, scale, seed, trials — the same identity
+	// discipline that keys artifacts). The journal is what Resume reads.
+	CheckpointDir string
+	// Resume loads the job's journal before executing and serves already-
+	// completed (unit, trial) outcomes from it instead of re-running them.
+	// A resumed run is byte-identical to an uninterrupted one: outcomes
+	// land in the same pre-assigned slots whether executed or replayed.
+	// Corrupt or torn journal lines are skipped — their cells simply
+	// re-run (and re-journal), mirroring the artifact store's healing.
+	// Requires CheckpointDir.
+	Resume bool
+	// TrialBudget, when > 0, bounds how many trials this invocation
+	// executes (replayed checkpoint outcomes are free). If work remains
+	// when the budget is spent, the run stops after journaling what it
+	// did and returns ErrBudget — a later Resume continues from there.
+	// Requires CheckpointDir: a budgeted run without a journal would
+	// simply discard its work.
+	TrialBudget int
+	// Progress, when non-nil, receives progress output (typically
+	// os.Stderr): a rate-limited done/total+ETA summary line by default,
+	// or one line per completed trial when Verbose is set.
+	Progress io.Writer
+	// Verbose restores the historical one-line-per-trial progress output.
+	Verbose bool
+	// Sinks are additional observers of the outcome stream, invoked for
+	// every (unit, trial) outcome — executed and replayed alike — after
+	// the built-in collector and checkpoint sinks. A sink error aborts
+	// the run.
+	Sinks []CellSink
+}
+
+// Job names one unit of work: what scale to run at, which root seed, and
+// how many trials. Everything in a Job participates in the determinism
+// contract — report bytes are a pure function of (selection or sweep,
+// Job) — and, together with the selection identity, it is the checkpoint
+// journal's content address.
+type Job struct {
+	// Scale is the machine scale every trial runs at.
+	Scale experiments.Scale
+	// Seed is the root seed; per-trial seeds are derived from it.
+	Seed int64
+	// Trials is the number of trials per experiment or cell (minimum 1).
+	Trials int
+}
+
+// Runner executes jobs under one Config.
+type Runner struct {
+	cfg Config
+}
+
+// New returns a Runner that executes jobs under cfg.
+func New(cfg Config) *Runner { return &Runner{cfg: cfg} }
+
+// ErrBudget reports that a TrialBudget run stopped with work remaining.
+// The completed trials are journaled; re-running with Resume continues.
+var ErrBudget = errors.New("trial budget exhausted before the job completed")
+
+// newStore builds the artifact store the config describes: nil for cold
+// runs, in-memory for plain warm runs, disk-backed when ArtifactDir is
+// set.
+func (c Config) newStore() (*experiments.ArtifactStore, error) {
+	if !c.Warm {
+		if c.ArtifactDir != "" {
+			return nil, fmt.Errorf("runner: artifact dir requires warm mode")
+		}
+		return nil, nil
+	}
+	if c.ArtifactDir != "" {
+		return experiments.NewDiskArtifactStore(c.ArtifactDir)
+	}
+	return experiments.NewArtifactStore(), nil
+}
+
+func (c Config) validate() error {
+	if c.Resume && c.CheckpointDir == "" {
+		return fmt.Errorf("runner: resume requires a checkpoint dir")
+	}
+	if c.TrialBudget > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("runner: trial budget requires a checkpoint dir")
+	}
+	return nil
+}
+
+// execUnit is one schedulable unit of a job: an experiment (key = its ID)
+// or a sweep cell (key = the cell's canonical coordinate string). The
+// label is what progress output calls it.
+type execUnit struct {
+	key   string
+	label string
+	run   func(trial int) (experiments.Result, error)
+}
+
+// execute is the streaming executor both Run and RunSweep share. It
+// replays checkpointed outcomes, fans the remaining (unit, trial) pairs
+// out over the worker pool, and hands every outcome — replayed and
+// executed alike — to the sink stack one at a time: the collector (which
+// reassembles the deterministic result matrix), the checkpoint journal,
+// any Config.Sinks, and the progress printer. Sinks never run
+// concurrently; workers only compute.
+func (r *Runner) execute(ident checkpointIdentity, units []execUnit, trials int) ([][]trialOutcome, error) {
+	if err := r.cfg.validate(); err != nil {
+		return nil, err
+	}
+	parallel := r.cfg.Parallel
+	if parallel <= 0 {
+		parallel = defaultParallel()
+	}
+
+	keys := make([]string, len(units))
+	labels := make(map[string]string, len(units))
+	for i, u := range units {
+		keys[i] = u.key
+		labels[u.key] = u.label
+	}
+	coll := newCollector(keys, trials)
+
+	sinks := multiSink{coll}
+	var replay map[outcomeKey]TrialOutcome
+	if r.cfg.CheckpointDir != "" {
+		ckpt, loaded, err := openCheckpoint(r.cfg.CheckpointDir, ident, r.cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+		replay = loaded
+		sinks = append(sinks, ckpt)
+	}
+	sinks = append(sinks, r.cfg.Sinks...)
+	var prog progressSink
+	if r.cfg.Progress != nil {
+		total := len(units) * trials
+		if r.cfg.Verbose {
+			prog = newVerbosePrinter(r.cfg.Progress, total, trials, labels)
+		} else {
+			prog = newThrottledPrinter(r.cfg.Progress, total)
+		}
+		sinks = append(sinks, prog)
+	}
+
+	var sinkErr error
+	put := func(o TrialOutcome) {
+		if sinkErr == nil {
+			sinkErr = sinks.Put(o)
+		}
+	}
+
+	// Serve checkpointed outcomes first and collect the remaining work in
+	// unit-major order — the order a budgeted run truncates, so repeated
+	// budgeted invocations sweep the grid front to back.
+	type slot struct{ ui, ti int }
+	var pending []slot
+	for ui, u := range units {
+		for ti := 0; ti < trials; ti++ {
+			if o, ok := replay[outcomeKey{unit: u.key, trial: ti}]; ok {
+				o.Resumed = true
+				put(o)
+			} else {
+				pending = append(pending, slot{ui, ti})
+			}
+		}
+	}
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+
+	remaining := 0
+	if r.cfg.TrialBudget > 0 && len(pending) > r.cfg.TrialBudget {
+		remaining = len(pending) - r.cfg.TrialBudget
+		pending = pending[:r.cfg.TrialBudget]
+	}
+
+	jobs := make(chan slot)
+	outcomes := make(chan TrialOutcome, parallel)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				u := units[s.ui]
+				start := time.Now()
+				res, err := u.run(s.ti)
+				outcomes <- TrialOutcome{
+					Unit:   u.key,
+					Trial:  s.ti,
+					Result: res,
+					Err:    err,
+					Wall:   time.Since(start),
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, s := range pending {
+			select {
+			case jobs <- s:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+	stopped := false
+	for o := range outcomes {
+		put(o)
+		if sinkErr != nil && !stopped {
+			stopped = true
+			close(stop)
+		}
+	}
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+	if prog != nil {
+		prog.Finish()
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("runner: %w (%d trial(s) remaining; re-run with resume)", ErrBudget, remaining)
+	}
+	return coll.outcomes, nil
+}
+
+// Run executes every selected experiment for job.Trials trials and
+// aggregates the outcome. The returned error only reports harness-level
+// problems (empty selection, sink failure, spent budget); individual
+// experiment failures are recorded per experiment in the Report so one
+// broken artifact does not discard the rest of a run.
+func (r *Runner) Run(selected []experiments.Experiment, job Job) (*Report, error) {
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("runner: no experiments selected")
+	}
+	if job.Trials < 1 {
+		job.Trials = 1
+	}
+	store, err := r.cfg.newStore()
+	if err != nil {
+		return nil, err
+	}
+	units := make([]execUnit, len(selected))
+	for i, e := range selected {
+		e := e
+		units[i] = execUnit{
+			key:   e.ID,
+			label: e.ID,
+			run: func(trial int) (experiments.Result, error) {
+				return runTrial(e, job.Scale, job.Seed, trial, store)
+			},
+		}
+	}
+	// Experiment outcomes are selection-independent (unit keys are
+	// experiment IDs, trial seeds derive from them), so the journal
+	// identity deliberately omits the selection: a full-registry journal
+	// resumes a single-experiment run and vice versa.
+	ident := checkpointIdentity{
+		Kind:   "experiments",
+		Scale:  job.Scale.String(),
+		Seed:   job.Seed,
+		Trials: job.Trials,
+	}
+	outcomes, err := r.execute(ident, units, job.Trials)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema: SchemaVersion,
+		Scale:  job.Scale.String(),
+		Seed:   job.Seed,
+		Trials: job.Trials,
+	}
+	for i, e := range selected {
+		rep.Experiments = append(rep.Experiments, aggregate(e.ID, e.Short, outcomes[i]))
+	}
+	return rep, nil
+}
+
+// RunSweep executes every cell of the sweep's grid for job.Trials trials.
+// Cell failures (including panics) are recorded per cell so one broken
+// corner of the parameter space does not discard the rest of the curve.
+func (r *Runner) RunSweep(sw experiments.Sweep, job Job) (*SweepReport, error) {
+	if sw.Run == nil && !sw.Phased() {
+		return nil, fmt.Errorf("runner: sweep %q has no run function", sw.ID)
+	}
+	if err := sw.Grid.Validate(); err != nil {
+		return nil, fmt.Errorf("runner: sweep %q: %w", sw.ID, err)
+	}
+	if job.Trials < 1 {
+		job.Trials = 1
+	}
+	store, err := r.cfg.newStore()
+	if err != nil {
+		return nil, err
+	}
+	cells := sw.Grid.Cells()
+	units := make([]execUnit, len(cells))
+	for i, cell := range cells {
+		cell := cell
+		units[i] = execUnit{
+			key:   cell.Key(),
+			label: sw.ID + "[" + cell.Key() + "]",
+			run: func(trial int) (experiments.Result, error) {
+				return runSweepTrial(sw, job.Scale, job.Seed, cell, trial, store)
+			},
+		}
+	}
+	ident := checkpointIdentity{
+		Kind:   "sweep",
+		ID:     sw.ID,
+		Scale:  job.Scale.String(),
+		Seed:   job.Seed,
+		Trials: job.Trials,
+	}
+	outcomes, err := r.execute(ident, units, job.Trials)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepReport{
+		Schema: SweepSchemaVersion,
+		Sweep:  sw.ID,
+		Title:  sw.Short,
+		Scale:  job.Scale.String(),
+		Seed:   job.Seed,
+		Trials: job.Trials,
+		Axes:   sw.Grid,
+	}
+	for ci, cell := range cells {
+		agg := aggregate(cell.Key(), sw.Short, outcomes[ci])
+		rep.Cells = append(rep.Cells, CellReport{
+			Key:     cell.Key(),
+			Coords:  cell.Coords(),
+			Labels:  cell.Labels(),
+			OK:      agg.OK,
+			Error:   agg.Error,
+			Metrics: agg.Metrics,
+			Wall:    agg.Wall,
+		})
+	}
+	return rep, nil
+}

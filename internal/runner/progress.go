@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// progressSink is a CellSink that also wants to flush a final line when
+// the run stops (normally or on a spent budget).
+type progressSink interface {
+	CellSink
+	Finish()
+}
+
+// verbosePrinter emits the historical one-line-per-trial progress output.
+// The executor delivers outcomes serially, so the [n/total] counters
+// appear in order without a lock.
+type verbosePrinter struct {
+	w      io.Writer
+	total  int
+	trials int
+	labels map[string]string
+	done   int
+}
+
+func newVerbosePrinter(w io.Writer, total, trials int, labels map[string]string) *verbosePrinter {
+	return &verbosePrinter{w: w, total: total, trials: trials, labels: labels}
+}
+
+func (p *verbosePrinter) Put(o TrialOutcome) error {
+	p.done++
+	status := "ok"
+	switch {
+	case o.Err != nil && o.Resumed:
+		status = "FAIL (checkpointed): " + o.Err.Error()
+	case o.Err != nil:
+		status = "FAIL: " + o.Err.Error()
+	case o.Resumed:
+		status = "ok (checkpointed)"
+	}
+	label := p.labels[o.Unit]
+	if label == "" {
+		label = o.Unit
+	}
+	fmt.Fprintf(p.w, "[%d/%d] %s trial %d/%d: %s (%.1fs)\n",
+		p.done, p.total, label, o.Trial+1, p.trials, status, o.Wall.Seconds())
+	return nil
+}
+
+func (p *verbosePrinter) Finish() {}
+
+// throttledPrinter emits a rate-limited summary line — done/total,
+// checkpoint hits, failures, elapsed, ETA — instead of one line per
+// trial, which is unreadable at paper-scale grids. The final state always
+// prints.
+type throttledPrinter struct {
+	w        io.Writer
+	total    int
+	interval time.Duration
+	start    time.Time
+	last     time.Time
+
+	done    int
+	resumed int
+	failed  int
+	printed int // done count at the last emitted line
+}
+
+func newThrottledPrinter(w io.Writer, total int) *throttledPrinter {
+	return &throttledPrinter{
+		w:        w,
+		total:    total,
+		interval: time.Second,
+		start:    time.Now(),
+		printed:  -1,
+	}
+}
+
+func (p *throttledPrinter) Put(o TrialOutcome) error {
+	p.done++
+	if o.Resumed {
+		p.resumed++
+	}
+	if o.Err != nil {
+		p.failed++
+	}
+	now := time.Now()
+	if p.done < p.total && now.Sub(p.last) < p.interval {
+		return nil
+	}
+	p.print(now)
+	return nil
+}
+
+// Finish flushes the final state if the last Put did not (a spent budget
+// stops a run between throttle ticks).
+func (p *throttledPrinter) Finish() {
+	if p.printed != p.done {
+		p.print(time.Now())
+	}
+}
+
+func (p *throttledPrinter) print(now time.Time) {
+	p.last = now
+	p.printed = p.done
+	pct := 0
+	if p.total > 0 {
+		pct = 100 * p.done / p.total
+	}
+	line := fmt.Sprintf("progress: %d/%d trials (%d%%)", p.done, p.total, pct)
+	if p.resumed > 0 {
+		line += fmt.Sprintf(", %d from checkpoint", p.resumed)
+	}
+	if p.failed > 0 {
+		line += fmt.Sprintf(", %d FAILED", p.failed)
+	}
+	elapsed := now.Sub(p.start)
+	line += ", elapsed " + fmtDur(elapsed)
+	// ETA extrapolates from executed (not replayed) trials: checkpoint
+	// hits are effectively free and would skew the estimate.
+	if executed := p.done - p.resumed; executed > 0 && p.done < p.total {
+		eta := elapsed / time.Duration(executed) * time.Duration(p.total-p.done)
+		line += ", eta " + fmtDur(eta)
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// fmtDur renders a duration at second granularity ("1m23s"); sub-second
+// runs keep one decimal so short jobs do not all read as "0s".
+func fmtDur(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+	return d.Round(time.Second).String()
+}

@@ -8,25 +8,33 @@
 //
 // The runner's determinism contract: for a fixed (selection, scale,
 // seed, trials), the aggregated Report — and therefore its JSON encoding
-// — is byte-identical regardless of the worker-pool width. Trials are
-// pure functions of their derived seed, results land in pre-assigned
-// slots rather than a completion-ordered list, and wall-clock timings
-// are kept out of the serialized document.
+// — is byte-identical regardless of the worker-pool width, of warm/cold
+// artifact reuse, and of whether the run was checkpointed, interrupted,
+// and resumed. Trials are pure functions of their derived seed, results
+// land in pre-assigned slots rather than a completion-ordered list
+// (streamed through the CellSink stack — see job.go), and wall-clock
+// timings are kept out of the serialized document.
+//
+// The primary API is runner.New(Config).Run / .RunSweep with a Job spec;
+// the package-level Run / RunSweep with Options are thin compatible
+// wrappers over it.
 package runner
 
 import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
-// Options configures a sweep.
+// Options configures the package-level Run / RunSweep wrappers: the
+// historical single-struct API, kept so existing callers and tests are
+// untouched. It maps onto a Config (execution environment, with Verbose
+// per-trial progress preserved) plus a Job (what to run); new code and
+// anything that wants checkpointing should use runner.New directly.
 type Options struct {
 	// Scale is the machine scale every trial runs at.
 	Scale experiments.Scale
@@ -40,22 +48,32 @@ type Options struct {
 	Trials int
 	// Parallel is the worker-pool width; <= 0 means GOMAXPROCS.
 	Parallel int
-	// Warm enables offline-artifact reuse for phase-split experiments:
-	// one shared content-addressed store deduplicates Prepare work across
-	// trials (and, in RunSweep, across grid cells). A cold run (the zero
-	// value) rebuilds every artifact per trial. Warm and cold runs of the
-	// same (selection, scale, seed, trials) produce byte-identical
-	// reports; warm is purely a wall-clock optimization.
+	// Warm enables offline-artifact reuse for phase-split experiments;
+	// see Config.Warm.
 	Warm bool
 	// ArtifactDir, when non-empty (warm mode only), backs the artifact
-	// store with a directory: offline artifacts are persisted there,
-	// content-addressed by the same key as the in-memory store, so
-	// repeated invocations skip offline phases entirely. Like Warm, it
-	// never changes report bytes.
+	// store with a directory; see Config.ArtifactDir.
 	ArtifactDir string
 	// Progress, when non-nil, receives one line per completed trial
 	// (typically os.Stderr).
 	Progress io.Writer
+}
+
+// config maps the legacy options onto the Runner's execution config.
+// Verbose is forced on: Options.Progress always meant per-trial lines.
+func (o Options) config() Config {
+	return Config{
+		Parallel:    o.Parallel,
+		Warm:        o.Warm,
+		ArtifactDir: o.ArtifactDir,
+		Progress:    o.Progress,
+		Verbose:     true,
+	}
+}
+
+// job extracts the job spec from the legacy options.
+func (o Options) job() Job {
+	return Job{Scale: o.Scale, Seed: o.Seed, Trials: o.Trials}
 }
 
 // defaultParallel is the worker-pool width when none is requested.
@@ -75,22 +93,6 @@ func TrialSeed(root int64, expID string, trial int) int64 {
 // golden files pin.
 func OfflineSeed(root int64, expID string) int64 {
 	return TrialSeed(root, expID, 0)
-}
-
-// newStore builds the artifact store the options describe: nil for cold
-// runs, in-memory for plain warm runs, disk-backed when ArtifactDir is
-// set.
-func (o Options) newStore() (*experiments.ArtifactStore, error) {
-	if !o.Warm {
-		if o.ArtifactDir != "" {
-			return nil, fmt.Errorf("runner: artifact dir requires warm mode")
-		}
-		return nil, nil
-	}
-	if o.ArtifactDir != "" {
-		return experiments.NewDiskArtifactStore(o.ArtifactDir)
-	}
-	return experiments.NewArtifactStore(), nil
 }
 
 // trialOutcome is one (experiment, trial) slot of the result matrix.
@@ -122,171 +124,30 @@ func safeCall(run func() (experiments.Result, error)) (res experiments.Result, e
 // design ("prepare once, measure many"); that is a semantic choice, not
 // an optimization, and holds in warm and cold mode alike — cold merely
 // rebuilds the same trial-0 machine each time instead of caching it.
-func runTrial(e experiments.Experiment, opts Options, trial int, store *experiments.ArtifactStore) (experiments.Result, error) {
-	seed := TrialSeed(opts.Seed, e.ID, trial)
+func runTrial(e experiments.Experiment, scale experiments.Scale, root int64, trial int, store *experiments.ArtifactStore) (experiments.Result, error) {
+	seed := TrialSeed(root, e.ID, trial)
 	if !e.Phased() {
-		return safeCall(func() (experiments.Result, error) { return e.Run(opts.Scale, seed) })
+		return safeCall(func() (experiments.Result, error) { return e.Run(scale, seed) })
 	}
 	return safeCall(func() (experiments.Result, error) {
 		art, err := e.Prepare(experiments.PrepareCtx{
-			Scale: opts.Scale,
-			Seed:  OfflineSeed(opts.Seed, e.ID),
+			Scale: scale,
+			Seed:  OfflineSeed(root, e.ID),
 			Store: store,
 		})
 		if err != nil {
 			return experiments.Result{}, err
 		}
-		return e.Measure(experiments.MeasureCtx{Scale: opts.Scale, Seed: seed}, art)
+		return e.Measure(experiments.MeasureCtx{Scale: scale, Seed: seed}, art)
 	})
 }
 
 // Run executes every selected experiment for opts.Trials trials on a
-// pool of opts.Parallel workers and aggregates the outcome. The returned
-// error only reports harness-level misuse (empty selection); individual
-// experiment failures are recorded per experiment in the Report so one
-// broken artifact does not discard the rest of a sweep.
+// pool of opts.Parallel workers and aggregates the outcome. It is the
+// compatibility wrapper over runner.New(cfg).Run(selected, job); the
+// returned error only reports harness-level misuse (empty selection) —
+// individual experiment failures are recorded per experiment in the
+// Report so one broken artifact does not discard the rest of a sweep.
 func Run(selected []experiments.Experiment, opts Options) (*Report, error) {
-	if len(selected) == 0 {
-		return nil, fmt.Errorf("runner: no experiments selected")
-	}
-	if opts.Trials < 1 {
-		opts.Trials = 1
-	}
-	if opts.Parallel <= 0 {
-		opts.Parallel = defaultParallel()
-	}
-
-	type job struct{ ei, ti int }
-	outcomes := make([][]trialOutcome, len(selected))
-	for i := range outcomes {
-		outcomes[i] = make([]trialOutcome, opts.Trials)
-	}
-
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var progressMu sync.Mutex
-	done := 0
-	total := len(selected) * opts.Trials
-
-	store, err := opts.newStore()
-	if err != nil {
-		return nil, err
-	}
-
-	for w := 0; w < opts.Parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				e := selected[j.ei]
-				start := time.Now()
-				res, err := runTrial(e, opts, j.ti, store)
-				wall := time.Since(start)
-				outcomes[j.ei][j.ti] = trialOutcome{result: res, err: err, wall: wall}
-				status := "ok"
-				if err != nil {
-					status = "FAIL: " + err.Error()
-				}
-				// Increment and print under one critical section so the
-				// [n/total] counters appear in order on stderr.
-				progressMu.Lock()
-				done++
-				if opts.Progress != nil {
-					fmt.Fprintf(opts.Progress, "[%d/%d] %s trial %d/%d: %s (%.1fs)\n",
-						done, total, e.ID, j.ti+1, opts.Trials, status, wall.Seconds())
-				}
-				progressMu.Unlock()
-			}
-		}()
-	}
-	for ei := range selected {
-		for ti := 0; ti < opts.Trials; ti++ {
-			jobs <- job{ei, ti}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	rep := &Report{
-		Schema: SchemaVersion,
-		Scale:  opts.Scale.String(),
-		Seed:   opts.Seed,
-		Trials: opts.Trials,
-	}
-	for ei, e := range selected {
-		rep.Experiments = append(rep.Experiments, aggregate(e.ID, e.Short, outcomes[ei]))
-	}
-	return rep, nil
-}
-
-// aggregate reduces one experiment's (or sweep cell's) trial outcomes into
-// a report entry. Metric order follows the first successful trial (every
-// trial runs the same code, so the set and order of metric names match);
-// the values slice is ordered by trial index.
-func aggregate(id, title string, trials []trialOutcome) ExperimentReport {
-	er := ExperimentReport{ID: id, Title: title, OK: true}
-	first := -1
-	for ti, t := range trials {
-		er.Wall += t.wall
-		if t.err != nil {
-			if er.OK {
-				er.OK = false
-				er.Error = fmt.Sprintf("trial %d: %v", ti, t.err)
-			}
-			continue
-		}
-		if first < 0 {
-			first = ti
-		}
-	}
-	if first < 0 {
-		return er
-	}
-	er.Table = trials[first].result
-	if title := trials[first].result.Title; title != "" {
-		er.Title = title
-	}
-	// Metrics are matched across trials by (name, occurrence ordinal) so
-	// an accidental duplicate name aggregates positionally instead of
-	// collapsing every occurrence onto the first one's values.
-	type key struct {
-		name string
-		ord  int
-	}
-	byKey := func(ms []experiments.Metric) map[key]float64 {
-		seen := map[string]int{}
-		out := make(map[key]float64, len(ms))
-		for _, m := range ms {
-			out[key{m.Name, seen[m.Name]}] = m.Value
-			seen[m.Name]++
-		}
-		return out
-	}
-	trialValues := make([]map[key]float64, len(trials))
-	for ti, t := range trials {
-		if t.err == nil {
-			trialValues[ti] = byKey(t.result.Metrics)
-		}
-	}
-	ord := map[string]int{}
-	for _, m := range trials[first].result.Metrics {
-		k := key{m.Name, ord[m.Name]}
-		ord[m.Name]++
-		values := make([]float64, 0, len(trials))
-		for _, tv := range trialValues {
-			if tv == nil {
-				continue
-			}
-			if v, ok := tv[k]; ok {
-				values = append(values, v)
-			}
-		}
-		er.Metrics = append(er.Metrics, MetricSummary{
-			Name:    m.Name,
-			Unit:    m.Unit,
-			Summary: stats.Summarize(values),
-			Values:  values,
-		})
-	}
-	return er
+	return New(opts.config()).Run(selected, opts.job())
 }

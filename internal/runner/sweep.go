@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -104,114 +103,31 @@ func SweepOfflineSeed(root int64, sweepID string) int64 {
 // runSweepTrial executes one (cell, trial). Phase-split sweeps prepare
 // their cell's machines (against the shared store when warm) and measure
 // on clones; legacy sweeps run monolithically.
-func runSweepTrial(sw experiments.Sweep, opts Options, cell scenario.Cell, trial int, store *experiments.ArtifactStore) (experiments.Result, error) {
-	seed := CellSeed(opts.Seed, sw.ID, cell.Key(), trial)
+func runSweepTrial(sw experiments.Sweep, scale experiments.Scale, root int64, cell scenario.Cell, trial int, store *experiments.ArtifactStore) (experiments.Result, error) {
+	seed := CellSeed(root, sw.ID, cell.Key(), trial)
 	if !sw.Phased() {
-		return safeCall(func() (experiments.Result, error) { return sw.Run(opts.Scale, seed, cell) })
+		return safeCall(func() (experiments.Result, error) { return sw.Run(scale, seed, cell) })
 	}
 	return safeCall(func() (experiments.Result, error) {
 		art, err := sw.Prepare(experiments.PrepareCtx{
-			Scale: opts.Scale,
-			Seed:  SweepOfflineSeed(opts.Seed, sw.ID),
+			Scale: scale,
+			Seed:  SweepOfflineSeed(root, sw.ID),
 			Store: store,
 		}, cell)
 		if err != nil {
 			return experiments.Result{}, err
 		}
-		return sw.Measure(experiments.MeasureCtx{Scale: opts.Scale, Seed: seed}, art, cell)
+		return sw.Measure(experiments.MeasureCtx{Scale: scale, Seed: seed}, art, cell)
 	})
 }
 
 // RunSweep executes every cell of the sweep's grid for opts.Trials trials
-// on a pool of opts.Parallel workers. Cell failures (including panics) are
-// recorded per cell so one broken corner of the parameter space does not
-// discard the rest of the curve.
+// on a pool of opts.Parallel workers. It is the compatibility wrapper
+// over runner.New(cfg).RunSweep(sw, job); cell failures (including
+// panics) are recorded per cell so one broken corner of the parameter
+// space does not discard the rest of the curve.
 func RunSweep(sw experiments.Sweep, opts Options) (*SweepReport, error) {
-	if sw.Run == nil && !sw.Phased() {
-		return nil, fmt.Errorf("runner: sweep %q has no run function", sw.ID)
-	}
-	if err := sw.Grid.Validate(); err != nil {
-		return nil, fmt.Errorf("runner: sweep %q: %w", sw.ID, err)
-	}
-	if opts.Trials < 1 {
-		opts.Trials = 1
-	}
-	if opts.Parallel <= 0 {
-		opts.Parallel = defaultParallel()
-	}
-
-	cells := sw.Grid.Cells()
-	type job struct{ ci, ti int }
-	outcomes := make([][]trialOutcome, len(cells))
-	for i := range outcomes {
-		outcomes[i] = make([]trialOutcome, opts.Trials)
-	}
-
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var progressMu sync.Mutex
-	done := 0
-	total := len(cells) * opts.Trials
-
-	store, err := opts.newStore()
-	if err != nil {
-		return nil, err
-	}
-
-	for w := 0; w < opts.Parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				cell := cells[j.ci]
-				start := time.Now()
-				res, err := runSweepTrial(sw, opts, cell, j.ti, store)
-				wall := time.Since(start)
-				outcomes[j.ci][j.ti] = trialOutcome{result: res, err: err, wall: wall}
-				status := "ok"
-				if err != nil {
-					status = "FAIL: " + err.Error()
-				}
-				progressMu.Lock()
-				done++
-				if opts.Progress != nil {
-					fmt.Fprintf(opts.Progress, "[%d/%d] %s[%s] trial %d/%d: %s (%.1fs)\n",
-						done, total, sw.ID, cell.Key(), j.ti+1, opts.Trials, status, wall.Seconds())
-				}
-				progressMu.Unlock()
-			}
-		}()
-	}
-	for ci := range cells {
-		for ti := 0; ti < opts.Trials; ti++ {
-			jobs <- job{ci, ti}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	rep := &SweepReport{
-		Schema: SweepSchemaVersion,
-		Sweep:  sw.ID,
-		Title:  sw.Short,
-		Scale:  opts.Scale.String(),
-		Seed:   opts.Seed,
-		Trials: opts.Trials,
-		Axes:   sw.Grid,
-	}
-	for ci, cell := range cells {
-		agg := aggregate(cell.Key(), sw.Short, outcomes[ci])
-		rep.Cells = append(rep.Cells, CellReport{
-			Key:     cell.Key(),
-			Coords:  cell.Coords(),
-			Labels:  cell.Labels(),
-			OK:      agg.OK,
-			Error:   agg.Error,
-			Metrics: agg.Metrics,
-			Wall:    agg.Wall,
-		})
-	}
-	return rep, nil
+	return New(opts.config()).RunSweep(sw, opts.job())
 }
 
 // WriteJSON serializes the sweep report as indented, newline-terminated

@@ -131,19 +131,20 @@ func (tb *Testbed) Sync() {
 	now := tb.clock.Now()
 	for {
 		// Interleave frames and noise in timestamp order so cache state
-		// evolves in a deterministic global order.
+		// evolves in a deterministic global order. The next frame's arrival
+		// is stable while noise drains, so all noise accesses due before it
+		// are delivered in one inner loop instead of re-peeking the frame
+		// per event; a frame wins an exact timestamp tie, as before.
 		frameAt, haveFrame := tb.peekFrame()
-		noiseAt, haveNoise := tb.peekNoise(now)
-		switch {
-		case haveFrame && frameAt <= now && (!haveNoise || frameAt <= noiseAt):
-			tb.nic.Receive(*tb.nextFrame)
-			tb.nextFrame = nil
-		case haveNoise && noiseAt <= now:
+		for tb.noisePeriod != 0 && tb.noiseNextAt <= now && (!haveFrame || tb.noiseNextAt < frameAt) {
 			tb.noiseAccess()
-		default:
+		}
+		if !haveFrame || frameAt > now {
 			tb.nic.ProcessDriver(now)
 			return
 		}
+		tb.nic.Receive(*tb.nextFrame)
+		tb.nextFrame = nil
 	}
 }
 
@@ -198,13 +199,6 @@ func (tb *Testbed) peekFrame() (uint64, bool) {
 		return 0, false
 	}
 	return tb.nextFrame.Arrival, true
-}
-
-func (tb *Testbed) peekNoise(now uint64) (uint64, bool) {
-	if tb.noisePeriod == 0 || tb.noiseNextAt > now {
-		return 0, false
-	}
-	return tb.noiseNextAt, true
 }
 
 func (tb *Testbed) noiseAccess() {
