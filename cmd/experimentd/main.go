@@ -1,0 +1,83 @@
+// Command experimentd is the long-running experiment service: an HTTP
+// daemon over the streaming runner that accepts experiment and sweep
+// jobs from many clients, executes them against one shared worker pool,
+// artifact store, and checkpoint directory, and serves their reports
+// and live event streams.
+//
+// The daemon's reports are byte-identical to solo cmd/experiments runs
+// of the same specs — concurrency, shared caches, and restarts never
+// change result bytes. Shutdown is deliberately abrupt-safe: in-flight
+// jobs journal every completed trial, so killing the daemon loses at
+// most partially-executed trials; the next start resumes the rest.
+//
+// Usage:
+//
+//	experimentd [-addr 127.0.0.1:7070] [-state-dir .experimentd]
+//	            [-parallel N] [-artifact-max-bytes N] [-q]
+//
+// See the README's "Experiment service" section for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	stateDir := flag.String("state-dir", ".experimentd", "persistent state directory (jobs, checkpoints, artifacts)")
+	parallel := flag.Int("parallel", 0, "max concurrent trial executions across all jobs (0 = GOMAXPROCS)")
+	artifactMax := flag.Int64("artifact-max-bytes", 0, "LRU size cap for the shared artifact store (0 = unlimited)")
+	quiet := flag.Bool("q", false, "suppress per-job log lines")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "experimentd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "experimentd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	svc, err := service.Open(service.Config{
+		StateDir:         *stateDir,
+		Parallel:         *parallel,
+		ArtifactMaxBytes: *artifactMax,
+		Logf:             logf,
+	})
+	if err != nil {
+		logger.Print(err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		// Stop listening, then exit without draining jobs: every
+		// completed trial is already journaled, so the next start
+		// resumes in-flight jobs instead of re-running them.
+		logger.Printf("%v: shutting down (in-flight jobs resume on restart)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	logger.Printf("state dir %s, pool width %d, listening on http://%s", *stateDir, svc.PoolWidth(), *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Print(err)
+		os.Exit(1)
+	}
+}

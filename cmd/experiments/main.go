@@ -6,9 +6,9 @@
 //
 //	experiments [-exp id,id,...|all] [-scale demo|paper] [-seed N]
 //	            [-trials T] [-parallel N] [-warm|-cold] [-artifact-dir dir]
-//	            [-checkpoint-dir dir] [-resume] [-trial-budget N]
-//	            [-format text|json] [-o file] [-v|-q]
-//	experiments -sweep id [same flags]
+//	            [-artifact-max-bytes N] [-checkpoint-dir dir] [-resume]
+//	            [-trial-budget N] [-format text|json] [-o file] [-v|-q]
+//	experiments -sweep id [-defense name,name,...] [same flags]
 //
 // Experiment ids follow the paper: fig5..fig16, table1, table2,
 // fingerprint (use -list for the full set, including sweep ids). Demo
@@ -33,7 +33,10 @@
 // per-cell seeds, and the aggregated curve is emitted keyed by cell
 // coordinates under the packetchasing-sweep/v2 schema (numeric coords
 // plus name labels for categorical axes like the defense registry), with
-// the same parallel-width byte-determinism contract.
+// the same parallel-width byte-determinism contract. -defense restricts
+// a sweep's defense axis to the named defenses without changing the
+// surviving cells' keys or seeds: a restricted run is byte-identical to
+// the matching slice of the full sweep.
 //
 // Warm starts (the default) exploit the attack's phase structure: the
 // expensive offline phase — eviction-set construction, latency
@@ -43,8 +46,9 @@
 // disables the reuse. -artifact-dir additionally persists the artifacts
 // to disk, content-addressed by the same key, so the next invocation (or
 // a CI job with a restored cache directory) skips the offline phases
-// entirely. The output bytes are identical in every mode; only the wall
-// clock differs.
+// entirely; -artifact-max-bytes caps that directory with least-recently-
+// used eviction. The output bytes are identical in every mode; only the
+// wall clock differs.
 //
 // -checkpoint-dir journals every completed trial to a content-addressed
 // file keyed by the run's identity (kind, sweep id, scale, seed, trials).
@@ -76,6 +80,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -92,6 +97,8 @@ func run() int {
 	warm := flag.Bool("warm", true, "reuse offline artifacts (eviction sets, machine snapshots) across trials and sweep cells")
 	cold := flag.Bool("cold", false, "rebuild the (shared, trial-0-seeded) offline artifacts for every trial instead of caching them (overrides -warm; results are byte-identical either way)")
 	artifactDir := flag.String("artifact-dir", "", "persist offline artifacts to this directory, content-addressed, so repeated invocations skip offline phases (warm mode only; results are byte-identical either way)")
+	artifactMax := flag.Int64("artifact-max-bytes", 0, "cap the -artifact-dir store at N bytes, evicting least-recently-used entries (0 = unlimited; eviction only costs rebuild time)")
+	defenseFlag := flag.String("defense", "", "comma-separated defense names restricting a sweep's defense axis (requires -sweep; cell keys and seeds match the full sweep's)")
 	checkpointDir := flag.String("checkpoint-dir", "", "journal each completed trial to this directory, keyed by the run identity (results are byte-identical either way)")
 	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint-dir journal and execute only the rest")
 	trialBudget := flag.Int("trial-budget", 0, "execute at most N trials this invocation (0 = unlimited; requires -checkpoint-dir; exit status 3 when work remains)")
@@ -143,6 +150,17 @@ func run() int {
 			return 2
 		}
 		sweepSel = ent.Sweep
+		if *defenseFlag != "" {
+			grid, err := sweepSel.Grid.Restrict(scenario.AxisDefense, strings.Split(*defenseFlag, ","))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-defense: %v\n", err)
+				return 2
+			}
+			sweepSel.Grid = grid
+		}
+	} else if *defenseFlag != "" {
+		fmt.Fprintf(os.Stderr, "-defense requires -sweep\n")
+		return 2
 	} else if *exp == "all" {
 		selected = experiments.All()
 	} else {
@@ -182,19 +200,24 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "-artifact-dir requires warm mode (drop -cold)\n")
 		return 2
 	}
+	if *artifactMax > 0 && *artifactDir == "" {
+		fmt.Fprintf(os.Stderr, "-artifact-max-bytes requires -artifact-dir\n")
+		return 2
+	}
 	if (*resume || *trialBudget > 0) && *checkpointDir == "" {
 		fmt.Fprintf(os.Stderr, "-resume and -trial-budget require -checkpoint-dir\n")
 		return 2
 	}
 	rn := runner.New(runner.Config{
-		Parallel:      width,
-		Warm:          *warm && !*cold,
-		ArtifactDir:   *artifactDir,
-		CheckpointDir: *checkpointDir,
-		Resume:        *resume,
-		TrialBudget:   *trialBudget,
-		Progress:      progress,
-		Verbose:       *verbose,
+		Parallel:         width,
+		Warm:             *warm && !*cold,
+		ArtifactDir:      *artifactDir,
+		ArtifactMaxBytes: *artifactMax,
+		CheckpointDir:    *checkpointDir,
+		Resume:           *resume,
+		TrialBudget:      *trialBudget,
+		Progress:         progress,
+		Verbose:          *verbose,
 	})
 	job := runner.Job{Scale: scale, Seed: *seed, Trials: *trials}
 	// Both report kinds share the output and exit-status contract.

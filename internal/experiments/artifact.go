@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/probe"
 	"repro/internal/scenario"
@@ -261,11 +264,14 @@ func (a *Artifact) rig(label string, ctx MeasureCtx) (*attackRig, error) {
 // persists every entry to disk, content-addressed by the same key, so
 // repeated CLI invocations and CI runs skip offline phases entirely.
 type ArtifactStore struct {
-	mu      sync.Mutex
-	entries map[string]*storeEntry
-	builds  int
-	loads   int
-	dir     string // "" = in-memory only
+	mu       sync.Mutex
+	entries  map[string]*storeEntry
+	builds   int
+	loads    int
+	evicted  int
+	dir      string // "" = in-memory only
+	maxBytes int64  // 0 = unbounded; > 0 caps the disk directory
+	evictMu  sync.Mutex
 }
 
 type storeEntry struct {
@@ -286,11 +292,29 @@ func NewArtifactStore() *ArtifactStore {
 // tag), hashed into a filename, so a disk entry is valid for exactly the
 // machines the in-memory entry would be.
 func NewDiskArtifactStore(dir string) (*ArtifactStore, error) {
+	return NewDiskArtifactStoreCapped(dir, 0)
+}
+
+// NewDiskArtifactStoreCapped is NewDiskArtifactStore with a size cap.
+// When maxBytes > 0, every persisted build is followed by an eviction
+// pass that removes least-recently-used entries (access-time order; see
+// entryATime) until the directory's *.rig.gob total fits the cap — the
+// bound a shared long-running store needs, since its key space (every
+// machine shape x seed x defense x attacker any client ever submits)
+// grows without limit. Eviction is safe by construction: a reader that
+// loses the race to an evicted file takes the ordinary miss path and
+// rebuilds, exactly like the corrupt-entry healing; losing an entry only
+// ever costs rebuild time.
+func NewDiskArtifactStoreCapped(dir string, maxBytes int64) (*ArtifactStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact dir: %w", err)
 	}
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("artifact dir: negative size cap %d", maxBytes)
+	}
 	s := NewArtifactStore()
 	s.dir = dir
+	s.maxBytes = maxBytes
 	return s, nil
 }
 
@@ -315,7 +339,8 @@ func (s *ArtifactStore) rigPath(key string) string {
 // or truncated gob — reports (nil, false): the caller rebuilds and
 // overwrites, so a damaged cache heals instead of wedging every run.
 func (s *ArtifactStore) loadRig(key string) (*RigArtifact, bool) {
-	f, err := os.Open(s.rigPath(key))
+	path := s.rigPath(key)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, false
 	}
@@ -324,6 +349,12 @@ func (s *ArtifactStore) loadRig(key string) (*RigArtifact, bool) {
 	if err := gob.NewDecoder(f).Decode(&ra); err != nil {
 		return nil, false
 	}
+	// Touch the entry so LRU eviction sees the hit. Reading alone is not
+	// enough — relatime/noatime mounts defer or drop atime updates — so
+	// recency is stamped explicitly; failures (entry already evicted by a
+	// concurrent pass) are harmless, the bytes are decoded.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return &ra, true
 }
 
@@ -377,6 +408,8 @@ func (s *ArtifactStore) rig(key string, build func() (*RigArtifact, error)) (*Ri
 		if e.err == nil && s.dir != "" {
 			if err := s.saveRig(key, e.rig); err != nil {
 				e.rig, e.err = nil, fmt.Errorf("persist artifact: %w", err)
+			} else {
+				s.evict(s.rigPath(key))
 			}
 		}
 		if e.err == nil {
@@ -402,6 +435,80 @@ func (s *ArtifactStore) DiskLoads() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.loads
+}
+
+// Evictions reports how many disk entries the size cap has removed.
+func (s *ArtifactStore) Evictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// evict enforces the size cap after a persisted build: while the
+// directory's *.rig.gob total exceeds maxBytes, the least-recently-used
+// entry goes — except keep (the entry just written, which justified the
+// pass and must survive it even under a cap smaller than one artifact).
+// In-flight temp files are skipped: a concurrent saveRig owns them and
+// they become entries only at rename. One pass runs at a time; scan
+// errors are ignored (eviction is best-effort bookkeeping, never a
+// correctness dependency — see NewDiskArtifactStoreCapped).
+func (s *ArtifactStore) evict(keep string) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+
+	type entry struct {
+		path string
+		size int64
+		used time.Time
+	}
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var ents []entry
+	var total int64
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".rig.gob") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue // raced with another evictor; already gone
+		}
+		path := filepath.Join(s.dir, de.Name())
+		total += fi.Size()
+		if path == keep {
+			continue
+		}
+		ents = append(ents, entry{path: path, size: fi.Size(), used: entryATime(fi)})
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if !ents[i].used.Equal(ents[j].used) {
+			return ents[i].used.Before(ents[j].used)
+		}
+		return ents[i].path < ents[j].path // tie-break for a stable order
+	})
+	removed := 0
+	for _, e := range ents {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			removed++
+		}
+	}
+	if removed > 0 {
+		s.mu.Lock()
+		s.evicted += removed
+		s.mu.Unlock()
+	}
 }
 
 // phasedRun composes a Prepare/Measure pair back into the single-shot

@@ -1,0 +1,21 @@
+//go:build linux
+
+package experiments
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// entryATime returns the file's access time — the LRU ordering key for
+// disk-store eviction. loadRig stamps it explicitly on every hit (mount
+// options like noatime make the kernel's own updates unreliable), so on
+// Linux the inode atime is authoritative; anything without one falls
+// back to the modification time, which the same stamp keeps current.
+func entryATime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package experiments
+
+import (
+	"os"
+	"time"
+)
+
+// entryATime falls back to the modification time off Linux. loadRig's
+// explicit Chtimes stamp sets both times on every hit, so LRU ordering
+// is preserved; only kernel-driven atime updates are lost.
+func entryATime(fi os.FileInfo) time.Time { return fi.ModTime() }

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 )
 
 // measureJSON runs fig10's online phase on the artifact and serializes
@@ -114,6 +117,187 @@ func TestDiskStoreHealsCorruptEntries(t *testing.T) {
 	var ra RigArtifact
 	if err := gob.NewDecoder(f).Decode(&ra); err != nil {
 		t.Errorf("healed cache file still corrupt: %v", err)
+	}
+}
+
+// rigFileSize returns the size one persisted fig10 demo rig occupies, so
+// cap tests can be phrased in "N entries" instead of guessed byte counts.
+func rigFileSize(t *testing.T) int64 {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := NewDiskArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 1, Store: s}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("expected one cache file, got %d (%v)", len(ents), err)
+	}
+	fi, err := ents[0].Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// countRigFiles counts persisted entries in a store directory.
+func countRigFiles(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.rig.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// TestDiskStoreEvictsLRU: with a cap sized for two entries, building a
+// third evicts the least-recently-used one — and "used" means used: an
+// entry kept warm by loads survives over a colder, older-accessed one.
+func TestDiskStoreEvictsLRU(t *testing.T) {
+	one := rigFileSize(t)
+	dir := t.TempDir()
+	s, err := NewDiskArtifactStoreCapped(dir, 2*one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep := func(st *ArtifactStore, seed int64) {
+		t.Helper()
+		if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: seed, Store: st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prep(s, 1)
+	time.Sleep(10 * time.Millisecond) // distinct timestamps for the LRU order
+	prep(s, 2)
+	time.Sleep(10 * time.Millisecond)
+
+	// Touch seed 1 from a fresh store (a disk load), making seed 2 the LRU
+	// entry despite being written later.
+	s2, err := NewDiskArtifactStoreCapped(dir, 2*one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep(s2, 1)
+	if s2.DiskLoads() != 1 {
+		t.Fatalf("touch load missed: loads=%d", s2.DiskLoads())
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	prep(s2, 3) // third entry: must evict exactly the LRU one (seed 2)
+	if got := countRigFiles(t, dir); got != 2 {
+		t.Fatalf("after eviction: %d entries on disk, want 2", got)
+	}
+	if s2.Evictions() != 1 {
+		t.Fatalf("evictions=%d, want 1", s2.Evictions())
+	}
+	// Seeds 1 and 3 must still load from disk; seed 2 must rebuild.
+	s3, err := NewDiskArtifactStoreCapped(dir, 2*one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep(s3, 1)
+	prep(s3, 3)
+	if s3.Builds() != 0 || s3.DiskLoads() != 2 {
+		t.Fatalf("survivors wrong: builds=%d loads=%d, want 0/2 (LRU entry evicted, not MRU)", s3.Builds(), s3.DiskLoads())
+	}
+	prep(s3, 2)
+	if s3.Builds() != 1 {
+		t.Fatalf("evicted entry served from disk: builds=%d, want 1", s3.Builds())
+	}
+}
+
+// TestDiskStoreEvictionKeepsFreshBuild: a cap smaller than a single
+// artifact must not evict the entry whose write triggered the pass — the
+// build that just happened is by definition the most recently used.
+func TestDiskStoreEvictionKeepsFreshBuild(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskArtifactStoreCapped(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 1, Store: s}); err != nil {
+		t.Fatal(err)
+	}
+	if got := countRigFiles(t, dir); got != 1 {
+		t.Fatalf("fresh build evicted by its own pass: %d entries, want 1", got)
+	}
+}
+
+// TestDiskStoreEvictionNeverBreaksLoads: the in-flight safety property.
+// Stores under a 1-byte cap evict aggressively on every build while
+// concurrent single-flight loads race them across fresh store instances;
+// every Prepare must still succeed with a usable artifact — an evicted
+// or half-raced file degrades to a rebuild, never to an error.
+func TestDiskStoreEvictionNeverBreaksLoads(t *testing.T) {
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for worker := 0; worker < 4; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				// Each store instance models a separate client invocation
+				// sharing the directory; seeds overlap so loads and evicting
+				// builds hit the same entries.
+				s, err := NewDiskArtifactStoreCapped(dir, 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for seed := int64(1); seed <= 2; seed++ {
+					art, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: seed, Store: s})
+					if err != nil {
+						errs <- fmt.Errorf("seed %d: %w", seed, err)
+						return
+					}
+					if art.Rigs["rig"] == nil {
+						errs <- fmt.Errorf("seed %d: artifact missing rig", seed)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDiskStoreCapPreservesHealing: the size cap must not change the
+// corrupt-entry contract — garbage entries still rebuild and heal under
+// an active cap.
+func TestDiskStoreCapPreservesHealing(t *testing.T) {
+	one := rigFileSize(t)
+	dir := t.TempDir()
+	s, err := NewDiskArtifactStoreCapped(dir, 4*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 3, Store: s}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, func() string {
+		ents, _ := os.ReadDir(dir)
+		return ents[0].Name()
+	}())
+	if err := os.WriteFile(path, []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskArtifactStoreCapped(dir, 4*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 3, Store: s2}); err != nil {
+		t.Fatalf("corrupt entry under cap must rebuild, got %v", err)
+	}
+	if s2.Builds() != 1 {
+		t.Fatalf("healing build count wrong: %d", s2.Builds())
 	}
 }
 

@@ -77,28 +77,43 @@ type checkpointSink struct {
 	f *os.File
 }
 
-// openCheckpoint opens (or creates) the journal for ident under dir. When
+// ErrJournalBusy reports that another live invocation holds the journal
+// for the same job identity under the same checkpoint dir. Interleaved
+// appends from two writers would corrupt each other's lines (each write
+// is one line, but nothing orders them), so the second writer fails fast
+// instead of silently sharing the file; re-run it after the holder exits,
+// or give it its own checkpoint dir.
+var ErrJournalBusy = errors.New("checkpoint journal is locked by another running invocation")
+
+// openCheckpoint opens (or creates) the journal for ident under dir and
+// takes an exclusive advisory lock on it for the sink's lifetime. When
 // resume is set the existing journal is loaded and appended to; otherwise
 // it is truncated — a fresh run must not inherit stale outcomes.
+//
+// The lock is acquired before the truncate-or-load decision: a contending
+// invocation must fail fast (ErrJournalBusy) without having destroyed the
+// holder's journal first. Two processes sharing a checkpoint dir — the
+// experiment daemon's normal state — therefore cannot interleave appends
+// into one file.
 func openCheckpoint(dir string, ident checkpointIdentity, resume bool) (*checkpointSink, map[outcomeKey]TrialOutcome, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("runner: checkpoint dir: %w", err)
 	}
 	path := filepath.Join(dir, ident.filename())
+	// O_APPEND (rather than explicit seeks) keeps every write at the tail
+	// in both the fresh and the resumed case, including after Truncate.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runner: checkpoint journal: %w", err)
+	}
+	if err := lockJournal(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("runner: checkpoint journal %s: %w", path, err)
+	}
 	var replay map[outcomeKey]TrialOutcome
 	usable := false
 	if resume {
 		replay, usable = loadJournal(path, ident)
-	}
-	var f *os.File
-	var err error
-	if usable {
-		f, err = os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
-	} else {
-		f, err = os.Create(path)
-	}
-	if err != nil {
-		return nil, nil, fmt.Errorf("runner: checkpoint journal: %w", err)
 	}
 	s := &checkpointSink{f: f}
 	if usable {
@@ -109,8 +124,12 @@ func openCheckpoint(dir string, ident checkpointIdentity, resume bool) (*checkpo
 			f.Close()
 			return nil, nil, err
 		}
-	}
-	if !usable {
+	} else {
+		replay = nil
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("runner: checkpoint journal: %w", err)
+		}
 		if err := s.writeLine(journalHeader{Format: checkpointFormatVersion, Identity: ident}); err != nil {
 			f.Close()
 			return nil, nil, err
@@ -169,12 +188,34 @@ func (s *checkpointSink) writeLine(payload any) error {
 	return nil
 }
 
+// Close syncs and closes the journal; closing the descriptor also
+// releases its advisory lock.
 func (s *checkpointSink) Close() error {
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return err
 	}
 	return s.f.Close()
+}
+
+// JournalName returns the content-addressed journal filename Run (kind
+// "experiments", empty id) or RunSweep (kind "sweep", id = the sweep ID)
+// will use for job under any checkpoint dir. Callers that multiplex many
+// jobs over one checkpoint dir — the experiment service — use it to
+// detect jobs that would contend for the same journal (same identity,
+// e.g. two experiment selections under one (scale, seed, trials)) and
+// serialize them instead of tripping ErrJournalBusy.
+func JournalName(kind, id string, job Job) string {
+	if job.Trials < 1 {
+		job.Trials = 1 // Run/RunSweep normalize the same way
+	}
+	return checkpointIdentity{
+		Kind:   kind,
+		ID:     id,
+		Scale:  job.Scale.String(),
+		Seed:   job.Seed,
+		Trials: job.Trials,
+	}.filename()
 }
 
 // loadJournal reads a journal, returning the outcomes of every valid

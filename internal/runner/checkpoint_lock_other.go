@@ -1,0 +1,13 @@
+//go:build !unix
+
+package runner
+
+import "os"
+
+// lockJournal is a no-op where advisory file locking is unavailable: the
+// journal keeps its single-process crash-safety guarantees (checksummed
+// lines, torn-tail healing), but two live invocations sharing a
+// checkpoint dir are not excluded from interleaving. The experiment
+// service still serializes same-identity jobs in-process via
+// JournalName, which does not depend on flock.
+func lockJournal(*os.File) error { return nil }

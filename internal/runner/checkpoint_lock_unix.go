@@ -1,0 +1,28 @@
+//go:build unix
+
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockJournal takes a non-blocking exclusive flock on the journal file.
+// flock locks the open file description, so it excludes concurrent
+// writers both across processes and across goroutines that opened the
+// file independently; it is released automatically when the descriptor
+// closes (including on SIGKILL), so a crashed run never wedges its
+// journal. Contention maps to ErrJournalBusy so callers can distinguish
+// "someone else is writing this job" from I/O failure.
+func lockJournal(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrJournalBusy
+	}
+	return fmt.Errorf("lock: %w", err)
+}

@@ -274,6 +274,104 @@ func TestJournalIdentityMismatch(t *testing.T) {
 	}
 }
 
+// TestJournalLockExcludesConcurrentWriters: two invocations sharing a
+// checkpoint dir and a job identity — the daemon's normal state — must
+// not interleave appends into one journal. The second opener fails fast
+// with ErrJournalBusy, before it has truncated or written anything, so
+// the holder's journal stays healable; after the holder closes, the slot
+// reopens and replays cleanly.
+func TestJournalLockExcludesConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	ident := checkpointIdentity{Kind: "sweep", ID: "lock_test", Scale: "demo", Seed: 1, Trials: 2}
+
+	holder, _, err := openCheckpoint(dir, ident, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := experiments.Result{ID: "x", Title: "x"}
+	res.AddMetric("m", "", 42)
+	if err := holder.Put(TrialOutcome{Unit: "u", Trial: 0, Result: res}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Contender without resume: under the old code this path truncated the
+	// journal before anything could object.
+	if _, _, err := openCheckpoint(dir, ident, false); !errors.Is(err, ErrJournalBusy) {
+		t.Fatalf("second writer: err %v, want ErrJournalBusy", err)
+	}
+	// Contender with resume: same fail-fast.
+	if _, _, err := openCheckpoint(dir, ident, true); !errors.Is(err, ErrJournalBusy) {
+		t.Fatalf("second writer (resume): err %v, want ErrJournalBusy", err)
+	}
+
+	// The failed contenders must not have damaged the holder's journal: the
+	// entry written before the contention attempts is still replayable.
+	if err := holder.Put(TrialOutcome{Unit: "u", Trial: 1, Result: res}); err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, replay, err := openCheckpoint(dir, ident, true)
+	if err != nil {
+		t.Fatalf("reopen after close: %v (lock must die with the holder)", err)
+	}
+	defer s.Close()
+	if len(replay) != 2 {
+		t.Fatalf("replayed %d outcomes, want 2 — contention corrupted the journal", len(replay))
+	}
+	for trial := 0; trial < 2; trial++ {
+		o, ok := replay[outcomeKey{unit: "u", trial: trial}]
+		if !ok || len(o.Result.Metrics) != 1 || o.Result.Metrics[0].Value != 42 {
+			t.Fatalf("trial %d replayed wrong: %+v", trial, o)
+		}
+	}
+}
+
+// TestJournalRejectsCopiedForeignJournal pins the clear-text header check
+// (checkpoint.go): a journal file copied or renamed into another run's
+// content-addressed slot — same format, valid checksums, wrong identity —
+// must be rejected outright, not silently replayed into the wrong job.
+func TestJournalRejectsCopiedForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	jobA := Job{Scale: experiments.Demo, Seed: 1, Trials: 2}
+	jobB := Job{Scale: experiments.Demo, Seed: 2, Trials: 2}
+	var n atomic.Int64
+	if _, err := New(Config{CheckpointDir: dir}).RunSweep(ckptSweep(&n, ""), jobA); err != nil {
+		t.Fatal(err)
+	}
+	pathA := journalPath(t, dir)
+
+	// Masquerade jobA's journal as jobB's: every line is checksum-valid,
+	// only the header identity disagrees with the slot.
+	raw, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identB := checkpointIdentity{Kind: "sweep", ID: "ckpt_sweep", Scale: jobB.Scale.String(), Seed: jobB.Seed, Trials: jobB.Trials}
+	pathB := filepath.Join(dir, identB.filename())
+	if err := os.WriteFile(pathB, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, usable := loadJournal(pathB, identB); usable {
+		t.Fatal("copied foreign journal accepted by header check")
+	}
+
+	// End to end: a resumed jobB run must execute every trial (nothing
+	// replayed from the foreign file) and rebuild the slot for itself.
+	var bN atomic.Int64
+	if _, err := New(Config{CheckpointDir: dir, Resume: true}).RunSweep(ckptSweep(&bN, ""), jobB); err != nil {
+		t.Fatal(err)
+	}
+	if bN.Load() != n.Load() {
+		t.Errorf("jobB executed %d trials, want %d — copied journal was replayed", bN.Load(), n.Load())
+	}
+	// The poisoned slot has been rewritten with jobB's own header.
+	if replay, usable := loadJournal(pathB, identB); !usable || len(replay) != int(n.Load()) {
+		t.Errorf("slot not healed for jobB: usable=%v replayed=%d", usable, len(replay))
+	}
+}
+
 // TestTrialBudget: a budgeted run stops with ErrBudget after executing
 // its allowance, journals that work, and repeated budgeted resumes
 // complete the job with a byte-identical report.

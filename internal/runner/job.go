@@ -30,6 +30,22 @@ type Config struct {
 	// store with a directory so repeated invocations skip offline phases
 	// entirely. Never changes report bytes.
 	ArtifactDir string
+	// ArtifactMaxBytes, when > 0 (requires ArtifactDir), caps the disk
+	// artifact store: after every persisted build, least-recently-used
+	// entries are evicted until the directory fits the cap. Eviction only
+	// costs rebuild time on a later miss — never changes report bytes.
+	ArtifactMaxBytes int64
+	// Store, when non-nil, is a caller-owned artifact store shared across
+	// runners — the experiment service hands every warm job the same
+	// store so concurrent jobs deduplicate offline work. Requires Warm;
+	// mutually exclusive with ArtifactDir (the caller already chose the
+	// store's backing when it built it).
+	Store *experiments.ArtifactStore
+	// Pool, when non-nil, bounds concurrent trial execution across every
+	// runner sharing it (see Pool). Parallel still sizes this job's
+	// worker set; the pool gates how many of those workers may compute at
+	// once machine-wide.
+	Pool *Pool
 	// CheckpointDir, when non-empty, journals every completed (unit,
 	// trial) outcome to a file under the directory, content-addressed by
 	// the job identity (kind, id, scale, seed, trials — the same identity
@@ -93,6 +109,15 @@ var ErrBudget = errors.New("trial budget exhausted before the job completed")
 // runs, in-memory for plain warm runs, disk-backed when ArtifactDir is
 // set.
 func (c Config) newStore() (*experiments.ArtifactStore, error) {
+	if c.Store != nil {
+		if !c.Warm {
+			return nil, fmt.Errorf("runner: shared store requires warm mode")
+		}
+		if c.ArtifactDir != "" {
+			return nil, fmt.Errorf("runner: shared store and artifact dir are mutually exclusive")
+		}
+		return c.Store, nil
+	}
 	if !c.Warm {
 		if c.ArtifactDir != "" {
 			return nil, fmt.Errorf("runner: artifact dir requires warm mode")
@@ -100,7 +125,7 @@ func (c Config) newStore() (*experiments.ArtifactStore, error) {
 		return nil, nil
 	}
 	if c.ArtifactDir != "" {
-		return experiments.NewDiskArtifactStore(c.ArtifactDir)
+		return experiments.NewDiskArtifactStoreCapped(c.ArtifactDir, c.ArtifactMaxBytes)
 	}
 	return experiments.NewArtifactStore(), nil
 }
@@ -111,6 +136,9 @@ func (c Config) validate() error {
 	}
 	if c.TrialBudget > 0 && c.CheckpointDir == "" {
 		return fmt.Errorf("runner: trial budget requires a checkpoint dir")
+	}
+	if c.ArtifactMaxBytes > 0 && c.ArtifactDir == "" {
+		return fmt.Errorf("runner: artifact size cap requires an artifact dir")
 	}
 	return nil
 }
@@ -213,14 +241,23 @@ func (r *Runner) execute(ident checkpointIdentity, units []execUnit, trials int)
 			defer wg.Done()
 			for s := range jobs {
 				u := units[s.ui]
+				// A shared pool gates only the compute, not the streaming:
+				// the slot is held for exactly one trial's execution.
+				if r.cfg.Pool != nil {
+					r.cfg.Pool.acquire()
+				}
 				start := time.Now()
 				res, err := u.run(s.ti)
+				wall := time.Since(start)
+				if r.cfg.Pool != nil {
+					r.cfg.Pool.release()
+				}
 				outcomes <- TrialOutcome{
 					Unit:   u.key,
 					Trial:  s.ti,
 					Result: res,
 					Err:    err,
-					Wall:   time.Since(start),
+					Wall:   wall,
 				}
 			}
 		}()

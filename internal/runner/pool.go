@@ -1,0 +1,29 @@
+package runner
+
+// Pool bounds concurrent trial execution across every Runner that shares
+// it. A single-job invocation does not need one — Config.Parallel already
+// sizes that job's workers — but a multi-client service runs many jobs at
+// once, and without a shared bound N concurrent jobs would each spawn
+// their own full-width pool and oversubscribe the machine N-fold. Workers
+// acquire a slot around each trial (never while idle or streaming into
+// sinks), so the pool caps compute without serializing replay or
+// reporting; acquisition order is irrelevant to report bytes because
+// outcomes land in pre-assigned slots.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool admitting width concurrent trials; width <= 0
+// means GOMAXPROCS.
+func NewPool(width int) *Pool {
+	if width <= 0 {
+		width = defaultParallel()
+	}
+	return &Pool{sem: make(chan struct{}, width)}
+}
+
+// Width reports the pool's concurrency bound.
+func (p *Pool) Width() int { return cap(p.sem) }
+
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+func (p *Pool) release() { <-p.sem }

@@ -58,8 +58,15 @@ type throttledPrinter struct {
 	w        io.Writer
 	total    int
 	interval time.Duration
+	now      func() time.Time // injectable clock for tests
 	start    time.Time
 	last     time.Time
+	// execStart is when this invocation's first *executed* trial began
+	// (its completion time backdated by its own wall duration); zero until
+	// one completes. The ETA extrapolates from it rather than from start:
+	// after a large resume, start predates the journal replay, whose wall
+	// time says nothing about how fast the remaining trials will go.
+	execStart time.Time
 
 	done    int
 	resumed int
@@ -68,11 +75,13 @@ type throttledPrinter struct {
 }
 
 func newThrottledPrinter(w io.Writer, total int) *throttledPrinter {
+	now := time.Now
 	return &throttledPrinter{
 		w:        w,
 		total:    total,
 		interval: time.Second,
-		start:    time.Now(),
+		now:      now,
+		start:    now(),
 		printed:  -1,
 	}
 }
@@ -85,7 +94,10 @@ func (p *throttledPrinter) Put(o TrialOutcome) error {
 	if o.Err != nil {
 		p.failed++
 	}
-	now := time.Now()
+	now := p.now()
+	if !o.Resumed && p.execStart.IsZero() {
+		p.execStart = now.Add(-o.Wall)
+	}
 	if p.done < p.total && now.Sub(p.last) < p.interval {
 		return nil
 	}
@@ -97,7 +109,7 @@ func (p *throttledPrinter) Put(o TrialOutcome) error {
 // stops a run between throttle ticks).
 func (p *throttledPrinter) Finish() {
 	if p.printed != p.done {
-		p.print(time.Now())
+		p.print(p.now())
 	}
 }
 
@@ -115,12 +127,14 @@ func (p *throttledPrinter) print(now time.Time) {
 	if p.failed > 0 {
 		line += fmt.Sprintf(", %d FAILED", p.failed)
 	}
-	elapsed := now.Sub(p.start)
-	line += ", elapsed " + fmtDur(elapsed)
-	// ETA extrapolates from executed (not replayed) trials: checkpoint
-	// hits are effectively free and would skew the estimate.
-	if executed := p.done - p.resumed; executed > 0 && p.done < p.total {
-		eta := elapsed / time.Duration(executed) * time.Duration(p.total-p.done)
+	line += ", elapsed " + fmtDur(now.Sub(p.start))
+	// ETA extrapolates the per-trial rate from executed (not replayed)
+	// trials over the time since the first executed trial began.
+	// Checkpoint hits are effectively free, and total elapsed time counts
+	// journal-replay wall time that says nothing about execution speed —
+	// either would overshoot the first post-resume estimates.
+	if executed := p.done - p.resumed; executed > 0 && p.done < p.total && !p.execStart.IsZero() {
+		eta := now.Sub(p.execStart) / time.Duration(executed) * time.Duration(p.total-p.done)
 		line += ", eta " + fmtDur(eta)
 	}
 	fmt.Fprintln(p.w, line)

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClockPrinter rigs a throttledPrinter to a manual clock and disables
+// rate limiting so every Put prints.
+func fakeClockPrinter(buf *bytes.Buffer, total int) (*throttledPrinter, *time.Time) {
+	clk := time.Unix(1000, 0)
+	p := newThrottledPrinter(buf, total)
+	p.now = func() time.Time { return clk }
+	p.start = clk
+	p.interval = 0
+	return p, &clk
+}
+
+func lastLine(buf *bytes.Buffer) string {
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	return lines[len(lines)-1]
+}
+
+// TestETAIgnoresReplayWallTime pins the post-resume ETA fix: a slow
+// journal replay (10s here) must not inflate the estimate for the
+// remaining executed trials. One executed trial took 2s with one trial
+// left, so the ETA is 2s — the pre-fix formula extrapolated from total
+// elapsed time and said 12s.
+func TestETAIgnoresReplayWallTime(t *testing.T) {
+	var buf bytes.Buffer
+	p, clk := fakeClockPrinter(&buf, 4)
+
+	p.Put(TrialOutcome{Unit: "u", Trial: 0, Resumed: true})
+	*clk = clk.Add(10 * time.Second) // journal replay drags on
+	p.Put(TrialOutcome{Unit: "u", Trial: 1, Resumed: true})
+
+	*clk = clk.Add(2 * time.Second) // first executed trial finishes
+	p.Put(TrialOutcome{Unit: "u", Trial: 2, Wall: 2 * time.Second})
+
+	got := lastLine(&buf)
+	if !strings.Contains(got, "eta 2s") {
+		t.Errorf("post-resume ETA wrong: %q, want eta 2s (replay wall time must not count)", got)
+	}
+	if !strings.Contains(got, "2 from checkpoint") || !strings.Contains(got, "elapsed 12s") {
+		t.Errorf("progress line lost its counters: %q", got)
+	}
+}
+
+// TestETAWithoutResume: the fix must not change the no-checkpoint case —
+// executed trials at a steady rate extrapolate linearly.
+func TestETAWithoutResume(t *testing.T) {
+	var buf bytes.Buffer
+	p, clk := fakeClockPrinter(&buf, 4)
+
+	for i := 0; i < 3; i++ {
+		*clk = clk.Add(3 * time.Second)
+		p.Put(TrialOutcome{Unit: "u", Trial: i, Wall: 3 * time.Second})
+	}
+	if got := lastLine(&buf); !strings.Contains(got, "eta 3s") {
+		t.Errorf("steady-rate ETA wrong: %q, want eta 3s", got)
+	}
+}
+
+// TestETAOmittedWhenNothingExecuted: an all-replay resume has no basis
+// for an estimate and must not print one (the pre-fix code couldn't hit
+// this, but the executed==0 guard now pairs with an execStart guard).
+func TestETAOmittedWhenNothingExecuted(t *testing.T) {
+	var buf bytes.Buffer
+	p, clk := fakeClockPrinter(&buf, 4)
+	*clk = clk.Add(5 * time.Second)
+	p.Put(TrialOutcome{Unit: "u", Trial: 0, Resumed: true})
+	if got := lastLine(&buf); strings.Contains(got, "eta") {
+		t.Errorf("ETA printed with zero executed trials: %q", got)
+	}
+}

@@ -57,6 +57,60 @@ func TestDefenseFingerprint(t *testing.T) {
 // TestDefenseAxis: the categorical axis must carry registry indices with
 // name labels, render labeled cell keys, and map back onto Spec.Defense
 // through WithCell.
+// TestGridRestrict: a restriction picks exactly the requested labeled
+// values, preserving their full-grid coordinates (cell keys and seeds
+// must match the unrestricted sweep's cells), and rejects everything
+// that could silently change a sweep's meaning: unknown labels, numeric
+// axes, absent axes, duplicates.
+func TestGridRestrict(t *testing.T) {
+	g := Grid{
+		DefenseAxis(),
+		{Name: AxisNoiseRate, Values: []float64{100, 200}},
+	}
+	full := g.Cells()
+
+	names := defense.Names()
+	pick := []string{names[2], names[0]} // order is the caller's, not the registry's
+	r, err := g.Restrict(AxisDefense, pick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := r.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("restricted grid has %d cells, want 4", len(cells))
+	}
+	// Every restricted cell must appear verbatim (same key, hence same
+	// derived seeds) in the full grid.
+	fullKeys := map[string]bool{}
+	for _, c := range full {
+		fullKeys[c.Key()] = true
+	}
+	for _, c := range cells {
+		if !fullKeys[c.Key()] {
+			t.Errorf("restricted cell %q not a cell of the full grid", c.Key())
+		}
+	}
+	if l, _ := cells[0].Label(AxisDefense); l != pick[0] {
+		t.Errorf("restriction order not honored: first cell defense %q, want %q", l, pick[0])
+	}
+
+	if _, err := g.Restrict(AxisDefense, []string{"no-such-defense"}); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if _, err := g.Restrict(AxisNoiseRate, []string{"100"}); err == nil {
+		t.Error("numeric axis restriction accepted")
+	}
+	if _, err := g.Restrict("absent", []string{"x"}); err == nil {
+		t.Error("absent axis accepted")
+	}
+	if _, err := g.Restrict(AxisDefense, []string{names[0], names[0]}); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	if same, err := g.Restrict(AxisDefense, nil); err != nil || len(same.Cells()) != len(full) {
+		t.Error("empty restriction must be the identity")
+	}
+}
+
 func TestDefenseAxis(t *testing.T) {
 	ax := DefenseAxis()
 	if len(ax.Values) != len(defense.All()) || len(ax.Labels) != len(ax.Values) {

@@ -235,6 +235,61 @@ func DefenseAxis(names ...string) Axis {
 	return ax
 }
 
+// Restrict returns a copy of the grid with the named labeled axis
+// narrowed to the given labels, in the given order. This is how a sweep
+// override (the CLI's -defense flag, a service job's defense field)
+// subsets a registered sweep without re-registering it: cell keys, seeds,
+// and numeric coordinates are exactly those the full grid would produce
+// for the same cells, so a restricted run's cells are byte-identical to
+// the matching slice of the full sweep. Labels must be a subset of the
+// axis's own labels — an override can narrow a sweep's defense set, not
+// smuggle in defenses its author never evaluated — and duplicates are
+// rejected (duplicate cell keys would collide in the result matrix).
+func (g Grid) Restrict(axisName string, labels []string) (Grid, error) {
+	if len(labels) == 0 {
+		return g, nil
+	}
+	ai := -1
+	for i, a := range g {
+		if a.Name == axisName {
+			ai = i
+			break
+		}
+	}
+	if ai < 0 {
+		return nil, fmt.Errorf("grid: no axis %q to restrict", axisName)
+	}
+	axis := g[ai]
+	if len(axis.Labels) == 0 {
+		return nil, fmt.Errorf("grid: axis %q is numeric, not labeled", axisName)
+	}
+	out := make(Grid, len(g))
+	copy(out, g)
+	narrowed := Axis{Name: axis.Name}
+	seen := map[string]bool{}
+	for _, want := range labels {
+		if seen[want] {
+			return nil, fmt.Errorf("grid: duplicate label %q in restriction", want)
+		}
+		seen[want] = true
+		idx := -1
+		for i, l := range axis.Labels {
+			if l == want {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("grid: axis %q has no label %q (have %s)",
+				axisName, want, strings.Join(axis.Labels, ", "))
+		}
+		narrowed.Values = append(narrowed.Values, axis.Values[idx])
+		narrowed.Labels = append(narrowed.Labels, axis.Labels[idx])
+	}
+	out[ai] = narrowed
+	return out, nil
+}
+
 // WithCell returns a copy of the spec with the cell's well-known axes
 // applied. Axes the spec does not model (e.g. a sweep-private packet-rate
 // axis) are left for the sweep's own Run to read via Value.

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"repro/internal/runner"
+)
+
+// Event types.
+const (
+	// EventState marks a lifecycle edge; every stream ends with a
+	// terminal-state event.
+	EventState = "state"
+	// EventTrial reports one completed (unit, trial) outcome.
+	EventTrial = "trial"
+)
+
+// Event is one entry of a job's event log: the wire form of the SSE
+// stream (GET /v1/jobs/{id}/events). The log is retained for the job's
+// lifetime, so a late or reconnecting subscriber replays it from Seq 0
+// and misses nothing.
+type Event struct {
+	// Seq is the event's position in the job's log, from 0.
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+
+	// State fields (Type == EventState).
+	State JobState `json:"state,omitempty"`
+
+	// Trial fields (Type == EventTrial).
+	Unit    string             `json:"unit,omitempty"`
+	Trial   int                `json:"trial,omitempty"`
+	Resumed bool               `json:"resumed,omitempty"`
+	Failed  bool               `json:"failed,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// WallMS is the trial's wall-clock milliseconds — observability
+	// only; wall time never reaches report bytes.
+	WallMS float64 `json:"wall_ms,omitempty"`
+
+	// Error carries a trial's failure or a failed job's harness error.
+	Error string `json:"error,omitempty"`
+	// Done/Total progress counters (both event types).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// jobSink adapts the runner's outcome stream to the job's event log —
+// this CellSink is the extension point SSE subscribers hang off. Put is
+// never called concurrently (runner contract), but subscribers read
+// concurrently, so all state flows through Service.mu.
+type jobSink struct {
+	s *Service
+	j *job
+}
+
+func (k jobSink) Put(o runner.TrialOutcome) error {
+	ev := Event{
+		Type:    EventTrial,
+		Unit:    o.Unit,
+		Trial:   o.Trial,
+		Resumed: o.Resumed,
+		WallMS:  float64(o.Wall.Milliseconds()),
+	}
+	if o.Err != nil {
+		ev.Failed = true
+		ev.Error = o.Err.Error()
+	} else if len(o.Result.Metrics) > 0 {
+		ev.Metrics = make(map[string]float64, len(o.Result.Metrics))
+		for _, m := range o.Result.Metrics {
+			ev.Metrics[m.Name] = m.Value
+		}
+	}
+
+	s, j := k.s, k.j
+	s.mu.Lock()
+	j.doneTrials++
+	if o.Resumed {
+		j.resumedTrials++
+	}
+	if o.Err != nil {
+		j.failedTrials++
+	}
+	ev.Done, ev.Total = j.doneTrials, j.totalTrials
+	s.publishLocked(j, ev)
+	s.mu.Unlock()
+	return nil
+}
+
+// subscriberBuffer is each subscriber's channel capacity. A subscriber
+// that falls this far behind the live stream is dropped (its channel
+// closed); it can reconnect and replay the full log.
+const subscriberBuffer = 256
+
+// publishLocked appends an event to the job's log and fans it out to
+// live subscribers. Callers hold s.mu. Delivery never blocks the
+// runner: a full subscriber is disconnected instead.
+func (s *Service) publishLocked(j *job, ev Event) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	var dropped []int
+	for id, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			dropped = append(dropped, id)
+		}
+	}
+	for _, id := range dropped {
+		close(j.subs[id])
+		delete(j.subs, id)
+	}
+}
+
+// subscribe returns the job's event log so far plus a live channel for
+// what follows. The channel is nil when the job is already terminal —
+// the history then ends with the terminal state event and there is
+// nothing more to wait for. cancel is idempotent and must be called
+// when the subscriber goes away.
+func (s *Service) subscribe(id string) (history []Event, live <-chan Event, cancel func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, nil, errUnknownJob(id)
+	}
+	history = append([]Event(nil), j.events...)
+	if j.state.terminal() {
+		return history, nil, func() {}, nil
+	}
+	ch := make(chan Event, subscriberBuffer)
+	sub := j.nextSub
+	j.nextSub++
+	j.subs[sub] = ch
+	cancel = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := j.subs[sub]; ok {
+			close(c)
+			delete(j.subs, sub)
+		}
+	}
+	return history, ch, cancel, nil
+}
+
+type errUnknownJob string
+
+func (e errUnknownJob) Error() string { return "service: no job " + string(e) }

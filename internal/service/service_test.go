@@ -1,0 +1,365 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func ptr(v int64) *int64 { return &v }
+
+// soloBytes runs a spec exactly the way a solo cmd/experiments
+// invocation would (fresh runner, private in-memory store, default
+// warm) and returns its JSON report bytes — the reference the service
+// must reproduce byte-for-byte.
+func soloBytes(t *testing.T, spec JobSpec) []byte {
+	t.Helper()
+	res, err := resolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := runner.Config{Warm: !res.spec.Cold}
+	var buf bytes.Buffer
+	if res.spec.Kind == KindSweep {
+		rep, err := runner.New(cfg).RunSweep(res.sweep, res.runnerJob())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		rep, err := runner.New(cfg).Run(res.selection, res.runnerJob())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestResolveSpec: normalization must make equivalent specs the same
+// job, and every malformed spec must be rejected with a client error.
+func TestResolveSpec(t *testing.T) {
+	a, err := resolveSpec(JobSpec{Kind: KindExperiments})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := resolveSpec(JobSpec{Kind: KindExperiments, Experiments: []string{"all"}, Scale: "demo", Seed: ptr(1), Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.id != b.id {
+		t.Errorf("equivalent specs got distinct ids %s / %s", a.id, b.id)
+	}
+	if a.units == 0 || a.spec.Scale != "demo" || *a.spec.Seed != 1 || a.spec.Trials != 1 {
+		t.Errorf("defaults not applied: %+v", a.spec)
+	}
+	c, err := resolveSpec(JobSpec{Kind: KindExperiments, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.id == a.id {
+		t.Error("different trials must be a different job")
+	}
+
+	full, err := resolveSpec(JobSpec{Kind: KindSweep, Sweep: "sens_chase_defense"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := resolveSpec(JobSpec{Kind: KindSweep, Sweep: "sens_chase_defense", Defense: []string{"none"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restricted.units >= full.units {
+		t.Errorf("defense restriction did not shrink the grid: %d vs %d cells", restricted.units, full.units)
+	}
+
+	bad := []JobSpec{
+		{Kind: "nope"},
+		{Kind: KindExperiments, Experiments: []string{"no_such_fig"}},
+		{Kind: KindExperiments, Sweep: "sens_chase_noise"},
+		{Kind: KindExperiments, Defense: []string{"none"}},
+		{Kind: KindExperiments, Trials: -1},
+		{Kind: KindExperiments, Scale: "huge"},
+		{Kind: KindSweep},
+		{Kind: KindSweep, Sweep: "fig5"},
+		{Kind: KindSweep, Sweep: "sens_chase_noise", Experiments: []string{"fig5"}},
+		{Kind: KindSweep, Sweep: "sens_chase_noise", Defense: []string{"no-such-defense"}},
+	}
+	for _, spec := range bad {
+		if _, err := resolveSpec(spec); err == nil {
+			t.Errorf("spec %+v accepted, want error", spec)
+		}
+	}
+}
+
+// TestServiceDeterminismUnderConcurrentLoad is the headline contract:
+// several mixed jobs submitted concurrently — different kinds, seeds,
+// trial counts, warm and cold, a defense-restricted sweep — all sharing
+// one pool, artifact store, and checkpoint dir, must each produce a
+// report byte-identical to a solo run of the same spec.
+func TestServiceDeterminismUnderConcurrentLoad(t *testing.T) {
+	svc, err := Open(Config{StateDir: t.TempDir(), Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []JobSpec{
+		{Kind: KindExperiments, Experiments: []string{"fig5", "fig7"}, Trials: 2},
+		{Kind: KindExperiments, Experiments: []string{"fig10"}, Seed: ptr(9), Trials: 2},
+		{Kind: KindSweep, Sweep: "sens_chase_noise", Trials: 1},
+		{Kind: KindSweep, Sweep: "sens_covert_timer", Seed: ptr(3), Cold: true},
+		{Kind: KindSweep, Sweep: "sens_chase_defense", Defense: []string{"none", "adaptive-partition"}},
+	}
+	ids := make([]string, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, created, err := svc.Submit(spec)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if !created {
+				t.Errorf("submit %d: job existed already", i)
+			}
+			ids[i] = st.ID
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("submissions failed")
+	}
+	svc.WaitIdle()
+
+	for i, spec := range specs {
+		st, ok := svc.Status(ids[i])
+		if !ok {
+			t.Fatalf("job %d vanished", i)
+		}
+		if st.State != StateDone || st.Error != "" {
+			t.Fatalf("job %d: state %s, error %q", i, st.State, st.Error)
+		}
+		if st.DoneTrials != st.TotalTrials || st.TotalTrials == 0 {
+			t.Errorf("job %d: %d/%d trials", i, st.DoneTrials, st.TotalTrials)
+		}
+		got, err := svc.Report(ids[i])
+		if err != nil {
+			t.Fatalf("job %d report: %v", i, err)
+		}
+		if want := soloBytes(t, spec); !bytes.Equal(got, want) {
+			t.Errorf("job %d (%+v): service report differs from solo run", i, spec)
+		}
+	}
+}
+
+// TestSameJournalIdentityJobsSerialized: two experiment jobs with equal
+// (scale, seed, trials) but different selections share one checkpoint
+// journal (the identity is deliberately selection-independent). The
+// service must serialize them in-process — the journal flock would fail
+// the second otherwise — and both must still match their solo bytes.
+func TestSameJournalIdentityJobsSerialized(t *testing.T) {
+	svc, err := Open(Config{StateDir: t.TempDir(), Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []JobSpec{
+		{Kind: KindExperiments, Experiments: []string{"fig5"}, Trials: 2},
+		{Kind: KindExperiments, Experiments: []string{"fig7"}, Trials: 2},
+	}
+	var ids []string
+	for _, spec := range specs {
+		st, _, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	svc.WaitIdle()
+	for i, spec := range specs {
+		st, _ := svc.Status(ids[i])
+		if st.State != StateDone {
+			t.Fatalf("job %d: state %s, error %q (journal contention not serialized?)", i, st.State, st.Error)
+		}
+		got, err := svc.Report(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := soloBytes(t, spec); !bytes.Equal(got, want) {
+			t.Errorf("job %d: report differs from solo run", i)
+		}
+	}
+}
+
+// TestSubmitIdempotent: resubmitting a spec returns the existing job.
+func TestSubmitIdempotent(t *testing.T) {
+	svc, err := Open(Config{StateDir: t.TempDir(), Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Kind: KindExperiments, Experiments: []string{"fig5"}}
+	st1, created, err := svc.Submit(spec)
+	if err != nil || !created {
+		t.Fatalf("first submit: created=%v err=%v", created, err)
+	}
+	st2, created, err := svc.Submit(spec)
+	if err != nil || created {
+		t.Fatalf("resubmit: created=%v err=%v", created, err)
+	}
+	if st1.ID != st2.ID {
+		t.Errorf("resubmit got a different job: %s vs %s", st1.ID, st2.ID)
+	}
+	svc.WaitIdle()
+	// Idempotency holds after completion too, and the spec file survived
+	// exactly once.
+	st3, created, err := svc.Submit(spec)
+	if err != nil || created || st3.ID != st1.ID || st3.State != StateDone {
+		t.Errorf("post-completion resubmit: %+v created=%v err=%v", st3, created, err)
+	}
+}
+
+// TestServiceRestartResumesInterruptedJob: the crash story. A job is
+// accepted (spec persisted) and partially executed (journal has some
+// trials) when the daemon dies. A fresh Open over the same state dir
+// must adopt the job, resume it from the journal — replaying, not
+// re-running, the completed trials — and finish with bytes identical to
+// an uninterrupted solo run. A second restart then serves the persisted
+// report without running anything.
+func TestServiceRestartResumesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	spec := JobSpec{Kind: KindExperiments, Experiments: []string{"fig5", "fig7"}, Trials: 2}
+	res, err := resolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the pre-crash daemon: persisted spec, partial journal.
+	// The journal is written by a budgeted solo run — the same bytes the
+	// daemon's runner would have journaled before dying.
+	ckpt := filepath.Join(dir, "checkpoints")
+	jobs := filepath.Join(dir, "jobs")
+	for _, d := range []string{ckpt, jobs} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = runner.New(runner.Config{Warm: true, CheckpointDir: ckpt, TrialBudget: 1}).
+		Run(res.selection, res.runnerJob())
+	if !errors.Is(err, runner.ErrBudget) {
+		t.Fatalf("budget seeding run: %v", err)
+	}
+	b, err := json.Marshal(res.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobs, res.id+".spec.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := Open(Config{StateDir: dir, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.WaitIdle()
+	st, ok := svc.Status(res.id)
+	if !ok {
+		t.Fatal("restart did not adopt the persisted job")
+	}
+	if st.State != StateDone {
+		t.Fatalf("recovered job: state %s, error %q", st.State, st.Error)
+	}
+	if st.ResumedTrials != 1 {
+		t.Errorf("recovered job replayed %d trials, want 1 (the journaled one)", st.ResumedTrials)
+	}
+	if st.DoneTrials != st.TotalTrials || st.TotalTrials != 4 {
+		t.Errorf("recovered job: %d/%d trials", st.DoneTrials, st.TotalTrials)
+	}
+	got, err := svc.Report(res.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := soloBytes(t, spec)
+	if !bytes.Equal(got, want) {
+		t.Error("resumed report differs from an uninterrupted solo run")
+	}
+
+	// Restart again: the finished job must be served from its persisted
+	// report, with no execution (no new journal activity needed — the
+	// status says done immediately).
+	svc2, err := Open(Config{StateDir: dir, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, ok := svc2.Status(res.id)
+	if !ok || st2.State != StateDone {
+		t.Fatalf("second restart: %+v ok=%v", st2, ok)
+	}
+	got2, err := svc2.Report(res.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Error("persisted report differs after second restart")
+	}
+}
+
+// TestJobEventLog: the event log every SSE subscriber sees — queued,
+// running, one event per trial, terminal state last, gapless sequence
+// numbers.
+func TestJobEventLog(t *testing.T) {
+	svc, err := Open(Config{StateDir: t.TempDir(), Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := svc.Submit(JobSpec{Kind: KindExperiments, Experiments: []string{"fig5"}, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.WaitIdle()
+	history, live, cancel, err := svc.subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if live != nil {
+		t.Error("subscription to a finished job must not hold a live channel")
+	}
+	if len(history) == 0 {
+		t.Fatal("empty event log")
+	}
+	trials := 0
+	for i, ev := range history {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Type == EventTrial {
+			trials++
+			if ev.Unit == "" {
+				t.Errorf("trial event %d missing unit", i)
+			}
+		}
+	}
+	if trials != 2 {
+		t.Errorf("event log has %d trial events, want 2", trials)
+	}
+	if first := history[0]; first.Type != EventState || first.State != StateQueued {
+		t.Errorf("first event %+v, want queued state", first)
+	}
+	if last := history[len(history)-1]; last.Type != EventState || last.State != StateDone {
+		t.Errorf("last event %+v, want done state", last)
+	}
+
+	if _, _, _, err := svc.subscribe("no-such-job"); err == nil {
+		t.Error("subscribe to unknown job must fail")
+	}
+}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// Job kinds, aligned with the checkpoint journal's identity kinds so a
+// job's journal is exactly the one a solo cmd/experiments run of the
+// same spec would write and resume from.
+const (
+	// KindExperiments runs a selection of registry experiments.
+	KindExperiments = "experiments"
+	// KindSweep runs one parameter sweep.
+	KindSweep = "sweep"
+)
+
+// JobSpec is the wire form of one job submission: what a client POSTs to
+// /v1/jobs. It deliberately mirrors the cmd/experiments flag surface —
+// every field maps onto a flag — because the service's headline
+// correctness property is that a job's final report is byte-identical to
+// a solo CLI run of the same spec. Anything that cannot be expressed as
+// a solo run cannot be a job.
+type JobSpec struct {
+	// Kind is KindExperiments or KindSweep.
+	Kind string `json:"kind"`
+	// Experiments selects registry experiments for a KindExperiments job,
+	// in report order (the CLI's -exp list). Empty or ["all"] runs the
+	// full registry.
+	Experiments []string `json:"experiments,omitempty"`
+	// Sweep names the sweep of a KindSweep job (the CLI's -sweep).
+	Sweep string `json:"sweep,omitempty"`
+	// Scale is "demo" (default) or "paper".
+	Scale string `json:"scale,omitempty"`
+	// Seed is the root seed; omitted means 1, matching the CLI default.
+	Seed *int64 `json:"seed,omitempty"`
+	// Trials per experiment or cell; omitted means 1.
+	Trials int `json:"trials,omitempty"`
+	// Cold disables warm offline-artifact reuse (the CLI's -cold). Warm
+	// jobs share the daemon's content-addressed store; bytes are
+	// identical either way.
+	Cold bool `json:"cold,omitempty"`
+	// Defense, for sweep jobs whose grid has a defense axis, restricts
+	// that axis to the named defenses (the CLI's -defense override).
+	Defense []string `json:"defense,omitempty"`
+}
+
+// resolved is a validated, normalized spec bound to its runnable registry
+// entries. The normalized spec (defaults applied) is what is persisted,
+// hashed into the job ID, and echoed in status responses.
+type resolved struct {
+	id        string
+	spec      JobSpec
+	scale     experiments.Scale
+	selection []experiments.Experiment // KindExperiments
+	sweep     experiments.Sweep        // KindSweep, grid possibly restricted
+	units     int                      // experiments or cells
+}
+
+// resolveSpec validates a submitted spec against the registry and
+// normalizes it. Every error is a client error (HTTP 400): the registry
+// is fixed at build time.
+func resolveSpec(spec JobSpec) (resolved, error) {
+	var r resolved
+	switch spec.Scale {
+	case "", "demo":
+		r.scale = experiments.Demo
+		spec.Scale = "demo"
+	case "paper":
+		r.scale = experiments.Paper
+	default:
+		return r, fmt.Errorf("unknown scale %q (want demo or paper)", spec.Scale)
+	}
+	if spec.Seed == nil {
+		one := int64(1)
+		spec.Seed = &one
+	}
+	if spec.Trials < 0 {
+		return r, fmt.Errorf("trials must be >= 0 (0 means 1)")
+	}
+	if spec.Trials == 0 {
+		spec.Trials = 1
+	}
+
+	switch spec.Kind {
+	case KindExperiments:
+		if spec.Sweep != "" {
+			return r, fmt.Errorf("kind %q does not take a sweep", KindExperiments)
+		}
+		if len(spec.Defense) > 0 {
+			return r, fmt.Errorf("defense override requires a sweep job")
+		}
+		ids := spec.Experiments
+		if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+			spec.Experiments = []string{"all"}
+			r.selection = experiments.All()
+		} else {
+			norm := make([]string, 0, len(ids))
+			for _, id := range ids {
+				id = strings.TrimSpace(id)
+				ent, ok := experiments.Lookup(id)
+				if !ok || ent.Kind != experiments.KindExperiment {
+					return r, fmt.Errorf("unknown experiment %q", id)
+				}
+				norm = append(norm, id)
+				r.selection = append(r.selection, ent.Experiment)
+			}
+			spec.Experiments = norm
+		}
+		r.units = len(r.selection)
+	case KindSweep:
+		if len(spec.Experiments) > 0 {
+			return r, fmt.Errorf("kind %q does not take an experiment selection", KindSweep)
+		}
+		if spec.Sweep == "" {
+			return r, fmt.Errorf("sweep job names no sweep")
+		}
+		ent, ok := experiments.Lookup(spec.Sweep)
+		if !ok || ent.Kind != experiments.KindSweep {
+			return r, fmt.Errorf("unknown sweep %q", spec.Sweep)
+		}
+		r.sweep = ent.Sweep
+		if len(spec.Defense) > 0 {
+			grid, err := r.sweep.Grid.Restrict(scenario.AxisDefense, spec.Defense)
+			if err != nil {
+				return r, fmt.Errorf("defense override: %w", err)
+			}
+			r.sweep.Grid = grid
+		}
+		r.units = r.sweep.Grid.Size()
+	default:
+		return r, fmt.Errorf("unknown kind %q (want %q or %q)", spec.Kind, KindExperiments, KindSweep)
+	}
+
+	r.spec = spec
+	r.id = specID(spec)
+	return r, nil
+}
+
+// specID content-addresses a normalized spec: identical submissions are
+// one job, so Submit is idempotent and a restarted daemon re-adopts its
+// persisted jobs under the same IDs.
+func specID(spec JobSpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("service: spec not marshalable: %v", err)) // unreachable: spec is plain data
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// runnerJob maps the spec onto the runner's job description.
+func (r resolved) runnerJob() runner.Job {
+	return runner.Job{Scale: r.scale, Seed: *r.spec.Seed, Trials: r.spec.Trials}
+}
+
+// journalIdentity returns the (kind, id) half of the job's checkpoint
+// journal identity; with runnerJob it names the journal file the run
+// will lock. Experiment journals are selection-independent by design, so
+// two jobs over different selections share one journal — the service
+// serializes them on it rather than tripping the runner's flock.
+func (r resolved) journalIdentity() (kind, id string) {
+	if r.spec.Kind == KindSweep {
+		return "sweep", r.sweep.ID
+	}
+	return "experiments", ""
+}
