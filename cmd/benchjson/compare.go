@@ -76,7 +76,14 @@ func compareDocs(base, cur *Document, tol float64) *comparison {
 		} else {
 			c.report("ok: %s time x%.2f (%.0f -> %.0f ns/op)", b.Name, rel, b.NsPerOp, n.NsPerOp)
 		}
-		if n.AllocsPerOp > b.AllocsPerOp*(1+tol) && n.AllocsPerOp > b.AllocsPerOp+1 {
+		switch {
+		case b.AllocsPerOp == 0 && n.AllocsPerOp > 0 && b.HasAllocs && n.HasAllocs:
+			// A zero-alloc baseline is a hard invariant, not a statistic:
+			// the rig-lease path is designed to 0 allocs/op and a single
+			// new allocation there multiplies by the trial count. No
+			// tolerance, no one-alloc slack.
+			c.fail("%s allocs/op 0 -> %.0f (zero-alloc baseline must stay zero)", b.Name, n.AllocsPerOp)
+		case n.AllocsPerOp > b.AllocsPerOp*(1+tol) && n.AllocsPerOp > b.AllocsPerOp+1:
 			c.fail("%s allocs/op %.0f -> %.0f", b.Name, b.AllocsPerOp, n.AllocsPerOp)
 		}
 	}

@@ -50,6 +50,41 @@ func TestCompareCatchesAllocGrowth(t *testing.T) {
 	}
 }
 
+// benchAlloc is bench with allocation reporting marked as measured, the
+// way parseLine records a -benchmem result line.
+func benchAlloc(name string, ns, allocs float64) Benchmark {
+	b := bench(name, ns, allocs)
+	b.HasAllocs = true
+	return b
+}
+
+// A measured-zero alloc baseline is a hard invariant: growing to even one
+// alloc/op fails, with no tolerance or slack (the rig-lease path is
+// designed to zero and a single new allocation multiplies by trial count).
+func TestCompareZeroAllocBaselineIsStrict(t *testing.T) {
+	base := docOf(benchAlloc("BenchmarkLease", 100, 0), benchAlloc("BenchmarkOther", 100, 5))
+	cur := docOf(benchAlloc("BenchmarkLease", 100, 1), benchAlloc("BenchmarkOther", 100, 5))
+	c := compareDocs(base, cur, 0.15)
+	if !c.failed {
+		t.Fatal("0 -> 1 allocs/op on a measured zero-alloc baseline not flagged")
+	}
+	if joined := strings.Join(c.lines, "\n"); !strings.Contains(joined, "BenchmarkLease") {
+		t.Errorf("report does not name the regressed benchmark:\n%s", joined)
+	}
+	// Staying at zero is fine.
+	cur = docOf(benchAlloc("BenchmarkLease", 100, 0), benchAlloc("BenchmarkOther", 100, 5))
+	if c := compareDocs(base, cur, 0.15); c.failed {
+		t.Fatalf("unchanged zero-alloc benchmark flagged:\n%s", strings.Join(c.lines, "\n"))
+	}
+	// A baseline without measured allocs (no -benchmem) keeps the lenient
+	// rule: 0 -> 1 under the old slack must not fail.
+	base = docOf(bench("BenchmarkLease", 100, 0), bench("BenchmarkOther", 100, 5))
+	cur = docOf(benchAlloc("BenchmarkLease", 100, 1), benchAlloc("BenchmarkOther", 100, 5))
+	if c := compareDocs(base, cur, 0.15); c.failed {
+		t.Fatalf("unmeasured baseline treated as strict zero:\n%s", strings.Join(c.lines, "\n"))
+	}
+}
+
 func TestCompareCatchesMissingBenchmark(t *testing.T) {
 	base := docOf(bench("BenchmarkA", 100, 0), bench("BenchmarkB", 100, 0))
 	cur := docOf(bench("BenchmarkA", 100, 0))

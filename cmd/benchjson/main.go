@@ -41,6 +41,11 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// HasAllocs distinguishes a measured 0 allocs/op from a run without
+	// allocation reporting: omitempty drops the zero either way, and the
+	// compare gate's zero-alloc invariant (a 0-alloc baseline must stay 0)
+	// only makes sense between two measured values.
+	HasAllocs bool `json:"has_allocs,omitempty"`
 }
 
 // Speedup is a derived Cold-vs-Warm ratio.
@@ -144,6 +149,7 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+			b.HasAllocs = true
 		}
 	}
 	if b.NsPerOp == 0 {

@@ -7,7 +7,8 @@
 //	experiments [-exp id,id,...|all] [-scale demo|paper] [-seed N]
 //	            [-trials T] [-parallel N] [-warm|-cold] [-artifact-dir dir]
 //	            [-artifact-max-bytes N] [-checkpoint-dir dir] [-resume]
-//	            [-trial-budget N] [-format text|json] [-o file] [-v|-q]
+//	            [-trial-budget N] [-pprof addr] [-format text|json]
+//	            [-o file] [-v|-q]
 //	experiments -sweep id [-defense name,name,...] [same flags]
 //
 // Experiment ids follow the paper: fig5..fig16, table1, table2,
@@ -73,6 +74,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"runtime"
 	"strings"
@@ -102,6 +106,7 @@ func run() int {
 	checkpointDir := flag.String("checkpoint-dir", "", "journal each completed trial to this directory, keyed by the run identity (results are byte-identical either way)")
 	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint-dir journal and execute only the rest")
 	trialBudget := flag.Int("trial-budget", 0, "execute at most N trials this invocation (0 = unlimited; requires -checkpoint-dir; exit status 3 when work remains)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	format := flag.String("format", "text", "output format: text or json")
 	out := flag.String("o", "", "write results to file instead of stdout")
 	verbose := flag.Bool("v", false, "per-trial progress lines on stderr instead of the throttled summary")
@@ -172,6 +177,19 @@ func run() int {
 			}
 			selected = append(selected, ent.Experiment)
 		}
+	}
+
+	if *pprofAddr != "" {
+		// Listen synchronously so a bad address fails fast, then serve in
+		// the background; the blank pprof import registered its handlers
+		// on the default mux. The listener dies with the process.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-pprof: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil)
 	}
 
 	// Open the output file before the sweep so a bad path fails fast

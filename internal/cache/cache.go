@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/sim"
 )
@@ -72,6 +73,33 @@ type Cache struct {
 	pstate []setState // only used when cfg.Partition != nil
 	nextID uint64     // LRU stamp source
 	stats  Stats
+	geo    string // geometryKey(cfg), cached: Restore checks it per lease
+	// Set-index math cached out of Config: Config.GlobalSet is a value
+	// method, so calling it from cpuAccess copies the whole Config (and
+	// re-derives the slice-hash width) on every simulated access — the
+	// single hottest call site in the tree. globalSet below reads these
+	// three words instead.
+	setMask   uint64 // SetsPerSlice - 1
+	sliceBits int    // log2(Slices)
+	sps       int    // SetsPerSlice
+}
+
+// globalSet is Config.GlobalSet with the geometry constants precomputed
+// and the slice-hash loop unrolled (at most 3 hash bits exist).
+func (c *Cache) globalSet(addr uint64) int {
+	set := int((addr >> 6) & c.setMask)
+	sl := 0
+	switch c.sliceBits {
+	case 3:
+		sl = int(bits.OnesCount64(addr&sliceMasks[2])&1) << 2
+		fallthrough
+	case 2:
+		sl |= int(bits.OnesCount64(addr&sliceMasks[1])&1) << 1
+		fallthrough
+	case 1:
+		sl |= int(bits.OnesCount64(addr&sliceMasks[0]) & 1)
+	}
+	return sl*c.sps + set
 }
 
 // setWays returns the ways of one global set as a view into the flat
@@ -88,7 +116,12 @@ func New(cfg Config, clock *sim.Clock) *Cache {
 		panic(err)
 	}
 	total := cfg.TotalSets()
-	c := &Cache{cfg: cfg, clock: clock, ways: cfg.Ways}
+	c := &Cache{
+		cfg: cfg, clock: clock, ways: cfg.Ways, geo: geometryKey(cfg),
+		setMask:   uint64(cfg.SetsPerSlice - 1),
+		sliceBits: bits.TrailingZeros(uint(cfg.Slices)),
+		sps:       cfg.SetsPerSlice,
+	}
 	c.lines = make([]line, total*cfg.Ways)
 	if cfg.Partition != nil {
 		c.pstate = make([]setState, total)
@@ -123,22 +156,46 @@ func (c *Cache) Write(addr uint64) (bool, uint64) {
 }
 
 func (c *Cache) cpuAccess(addr uint64, store bool) (bool, uint64) {
-	set := c.cfg.GlobalSet(addr)
+	set := c.globalSet(addr)
 	c.maybeAdapt(set)
 	tag := addr >> 6
 	ways := c.setWays(set)
 	c.stats.CPUAccesses++
-	if w := c.lookup(ways, tag); w >= 0 {
-		c.stats.CPUHits++
-		ways[w].stamp = c.touch()
-		if store {
-			ways[w].dirty = true
+	q := 0
+	if c.pstate != nil {
+		// Defense: CPU lines live in ways [quota, Ways).
+		q = c.pstate[set].quota
+	}
+	// One pass over the set: search for the tag (hit, early exit) while
+	// tracking the CPU victim — first invalid way in [q:), else the LRU —
+	// so a miss needs no second scan. Declaring a miss requires visiting
+	// every way anyway, and misses are the common case under PRIME+PROBE.
+	// Victim choice is identical to lruWay(ways[q:]) + q.
+	inv, best, bestStamp := -1, q, ^uint64(0)
+	for w := range ways {
+		l := &ways[w]
+		if l.tag == tag && l.valid {
+			c.stats.CPUHits++
+			l.stamp = c.touch()
+			if store {
+				l.dirty = true
+			}
+			return true, c.cfg.HitLatency
 		}
-		return true, c.cfg.HitLatency
+		if w >= q && inv < 0 {
+			if !l.valid {
+				inv = w
+			} else if l.stamp < bestStamp {
+				best, bestStamp = w, l.stamp
+			}
+		}
 	}
 	c.stats.CPUMisses++
 	c.stats.MemReads++
-	w := c.victimCPU(set)
+	w := best
+	if inv >= 0 {
+		w = inv
+	}
 	c.evict(set, w)
 	ways[w] = line{tag: tag, valid: true, dirty: store, io: false, stamp: c.touch()}
 	c.refreshHasIO(set)
@@ -151,7 +208,7 @@ func (c *Cache) cpuAccess(addr uint64, store bool) (bool, uint64) {
 // DMA engines run in parallel with the cores, so the clock does not
 // advance.
 func (c *Cache) IOWrite(addr uint64) {
-	set := c.cfg.GlobalSet(addr)
+	set := c.globalSet(addr)
 	c.maybeAdapt(set)
 	tag := addr >> 6
 	ways := c.setWays(set)
@@ -205,7 +262,7 @@ func (c *Cache) IOWrite(addr uint64) {
 // writing it back if dirty. No latency is charged; the attack in this
 // reproduction never relies on flush timing.
 func (c *Cache) Flush(addr uint64) {
-	set := c.cfg.GlobalSet(addr)
+	set := c.globalSet(addr)
 	tag := addr >> 6
 	ways := c.setWays(set)
 	if w := c.lookup(ways, tag); w >= 0 {
@@ -219,7 +276,7 @@ func (c *Cache) Flush(addr uint64) {
 // simulator-side oracle used by tests and ground-truth collection, never by
 // attack code.
 func (c *Cache) Contains(addr uint64) bool {
-	set := c.cfg.GlobalSet(addr)
+	set := c.globalSet(addr)
 	return c.lookup(c.setWays(set), addr>>6) >= 0
 }
 
@@ -250,7 +307,9 @@ func (c *Cache) touch() uint64 {
 
 func (c *Cache) lookup(ways []line, tag uint64) int {
 	for w := range ways {
-		if ways[w].valid && ways[w].tag == tag {
+		// Tag first: almost every way mismatches by tag, and checking the
+		// uint64 before the bool keeps the common path to one comparison.
+		if ways[w].tag == tag && ways[w].valid {
 			return w
 		}
 	}
@@ -265,17 +324,6 @@ func (c *Cache) evict(set, w int) {
 		c.stats.MemWrites++
 		c.stats.Writebacks++
 	}
-}
-
-// victimCPU picks the way a CPU allocation replaces.
-func (c *Cache) victimCPU(set int) int {
-	ways := c.setWays(set)
-	if c.pstate != nil {
-		// Defense: CPU lines live in ways [quota, Ways).
-		q := c.pstate[set].quota
-		return lruWay(ways[q:]) + q
-	}
-	return lruWay(ways)
 }
 
 // victimIO picks the way an I/O allocation replaces; ok=false means the

@@ -279,6 +279,83 @@ func TestCacheInvariantsUnderRandomTraffic(t *testing.T) {
 	}
 }
 
+// referenceCPUAccess is the pre-fusion two-pass algorithm — separate
+// lookup and lruWay scans — kept here as the specification the fused
+// single-pass cpuAccess is differentially tested against.
+func referenceCPUAccess(c *Cache, addr uint64, store bool) (bool, uint64) {
+	set := c.globalSet(addr)
+	c.maybeAdapt(set)
+	tag := addr >> 6
+	ways := c.setWays(set)
+	c.stats.CPUAccesses++
+	if w := c.lookup(ways, tag); w >= 0 {
+		c.stats.CPUHits++
+		ways[w].stamp = c.touch()
+		if store {
+			ways[w].dirty = true
+		}
+		return true, c.cfg.HitLatency
+	}
+	c.stats.CPUMisses++
+	c.stats.MemReads++
+	q := 0
+	if c.pstate != nil {
+		q = c.pstate[set].quota
+	}
+	w := lruWay(ways[q:]) + q
+	c.evict(set, w)
+	ways[w] = line{tag: tag, valid: true, dirty: store, io: false, stamp: c.touch()}
+	c.refreshHasIO(set)
+	return false, c.cfg.MissLatency
+}
+
+// TestCPUAccessMatchesReference drives the fused cpuAccess and the
+// two-pass reference through identical mixed access streams (with and
+// without the partition defense, whose quota restricts the victim range)
+// and demands identical hit/miss decisions, stats, and full line state at
+// every step. Victim choice — first invalid way, else lowest stamp — is
+// the part a fused scan could silently get wrong.
+func TestCPUAccessMatchesReference(t *testing.T) {
+	for _, name := range []string{"ddio", "partition"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := ScaledConfig(2, 64, 4)
+			if name == "partition" {
+				cfg.Partition = DefaultPartitionConfig()
+			}
+			got, gotClock := newTestCache(cfg)
+			want, wantClock := newTestCache(cfg)
+			rng := sim.NewRNG(41)
+			for i := 0; i < 20000; i++ {
+				addr := uint64(rng.Intn(1 << 18))
+				store := rng.Intn(2) == 1
+				if rng.Intn(8) == 0 { // interleave DMA so io lines exist
+					got.IOWrite(addr)
+					want.IOWrite(addr)
+					continue
+				}
+				gh, gl := got.cpuAccess(addr, store)
+				wh, wl := referenceCPUAccess(want, addr, store)
+				if gh != wh || gl != wl {
+					t.Fatalf("access %d addr %#x: fused (%v,%d) != reference (%v,%d)",
+						i, addr, gh, gl, wh, wl)
+				}
+				d := uint64(rng.Intn(300))
+				gotClock.Advance(d)
+				wantClock.Advance(d)
+			}
+			if got.stats != want.stats {
+				t.Fatalf("stats diverged: fused %+v, reference %+v", got.stats, want.stats)
+			}
+			for i := range got.lines {
+				if got.lines[i] != want.lines[i] {
+					t.Fatalf("line %d diverged: fused %+v, reference %+v",
+						i, got.lines[i], want.lines[i])
+				}
+			}
+		})
+	}
+}
+
 func TestString(t *testing.T) {
 	c, _ := newTestCache(PaperConfig())
 	if s := c.String(); s == "" {

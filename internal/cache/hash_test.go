@@ -3,6 +3,8 @@ package cache
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestSliceUniformity(t *testing.T) {
@@ -78,6 +80,23 @@ func TestGlobalSetRange(t *testing.T) {
 		gs := cfg.GlobalSet(uint64(rng.Int63()))
 		if gs < 0 || gs >= cfg.TotalSets() {
 			t.Fatalf("global set %d out of range", gs)
+		}
+	}
+}
+
+// The cache's cached fast-path index must agree with the public Config
+// method for every geometry shape the slice hash supports.
+func TestCachedGlobalSetMatchesConfig(t *testing.T) {
+	for _, slices := range []int{1, 2, 4, 8} {
+		cfg := ScaledConfig(slices, 256, 8)
+		c := New(cfg, sim.NewClock())
+		rng := rand.New(rand.NewSource(int64(slices)))
+		for i := 0; i < 10000; i++ {
+			addr := uint64(rng.Int63())
+			if got, want := c.globalSet(addr), cfg.GlobalSet(addr); got != want {
+				t.Fatalf("slices=%d addr=%#x: cached globalSet %d, Config.GlobalSet %d",
+					slices, addr, got, want)
+			}
 		}
 	}
 }

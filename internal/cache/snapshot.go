@@ -31,26 +31,39 @@ func geometryKey(cfg Config) string {
 		cfg.Slices, cfg.SetsPerSlice, cfg.Ways, cfg.DDIO, cfg.DDIOWays, part)
 }
 
-// Snapshot captures the cache's full mutable state.
+// Snapshot captures the cache's full mutable state. The returned value is
+// immutable and safe to restore into any cache of identical geometry.
 func (c *Cache) Snapshot() *Snapshot {
-	s := &Snapshot{
-		geometry: geometryKey(c.cfg),
-		lines:    append([]line(nil), c.lines...),
-		nextID:   c.nextID,
-		stats:    c.stats,
-	}
-	if c.pstate != nil {
-		s.pstate = append([]setState(nil), c.pstate...)
-	}
+	s := &Snapshot{}
+	c.SnapshotInto(s)
 	return s
+}
+
+// SnapshotInto captures the cache's state into a caller-owned scratch
+// snapshot, reusing its backing slices. It exists for the offline/build
+// path and benchmarks that snapshot repeatedly; a snapshot filed in an
+// artifact must be a fresh Snapshot(), since artifacts rely on snapshot
+// immutability.
+func (c *Cache) SnapshotInto(s *Snapshot) {
+	s.geometry = c.geo
+	s.lines = append(s.lines[:0], c.lines...)
+	s.pstate = s.pstate[:0]
+	if c.pstate != nil {
+		s.pstate = append(s.pstate, c.pstate...)
+	}
+	s.nextID = c.nextID
+	s.stats = c.stats
 }
 
 // Restore overwrites the cache's mutable state from a snapshot taken on a
 // cache with identical geometry. It panics on a geometry mismatch — that
-// can only mean two different machines' state got crossed.
+// can only mean two different machines' state got crossed. Geometry never
+// changes after New, so the comparison runs against the key cached at
+// construction and the whole restore is copy-only: the rig-pool lease path
+// runs one per warm trial and stays allocation-free.
 func (c *Cache) Restore(s *Snapshot) {
-	if got := geometryKey(c.cfg); got != s.geometry {
-		panic(fmt.Sprintf("cache: restoring snapshot of %q into %q", s.geometry, got))
+	if c.geo != s.geometry {
+		panic(fmt.Sprintf("cache: restoring snapshot of %q into %q", s.geometry, c.geo))
 	}
 	copy(c.lines, s.lines)
 	if c.pstate != nil {

@@ -63,6 +63,12 @@ type PrepareCtx struct {
 type MeasureCtx struct {
 	Scale Scale
 	Seed  int64
+	// Rigs, when non-nil, recycles cloned machines through a RigPool
+	// instead of constructing one per rig per trial (see RigPool for the
+	// geometry-keyed reuse contract). A nil lease builds every clone
+	// fresh. Pooled and fresh clones are state-identical, so reports are
+	// byte-identical either way — the same bar the warm/cold split meets.
+	Rigs *RigLease
 }
 
 // PrepareFunc is an experiment's offline phase.
@@ -97,6 +103,22 @@ type RigArtifact struct {
 	Machine *testbed.Snapshot
 	Spy     probe.SpyState
 	Groups  []probe.EvictionSet
+
+	// poolKey caches Opts.OfflineFingerprint() for the rig-pool lease
+	// path: the fingerprint is a fmt.Sprintf over the full config and
+	// computing it per trial would be the lease's only allocation. Built
+	// lazily under a sync.Once because artifacts are shared across
+	// concurrent trials (gob skips unexported fields, so disk round-trips
+	// simply recompute it).
+	poolOnce sync.Once
+	poolKey  string
+}
+
+// clonePoolKey returns the artifact's rig-pool key (the machine's offline
+// fingerprint), computing it once.
+func (ra *RigArtifact) clonePoolKey() string {
+	ra.poolOnce.Do(func() { ra.poolKey = ra.Opts.OfflineFingerprint() })
+	return ra.poolKey
 }
 
 // NewArtifact starts an empty artifact rooted at the context's seed.
@@ -228,32 +250,39 @@ func buildRigArtifact(opts testbed.Options, strat probe.Strategy) (ra *RigArtifa
 	}, nil
 }
 
-// rig clones an independent machine from the labeled rig artifact:
-// a fresh testbed shell restored to the snapshot, the spy rebound, and
-// the eviction sets deep-copied. Safe to call concurrently for the same
-// label. See MeasureCtx for the online-reseed rule.
+// rig clones an independent machine from the labeled rig artifact: a
+// pooled testbed adopted in place when the context carries a lease with a
+// geometry match, otherwise a fresh shell restored to the snapshot; either
+// way the spy is rebound and the eviction sets deep-copied. Safe to call
+// concurrently for the same label. See MeasureCtx for the online-reseed
+// rule; when reseeding, the snapshot's online RNG positions are skipped
+// rather than replayed-then-discarded (testbed.RestoreReseeded).
 func (a *Artifact) rig(label string, ctx MeasureCtx) (*attackRig, error) {
 	ra, ok := a.Rigs[label]
 	if !ok {
 		return nil, fmt.Errorf("measure: artifact has no rig %q", label)
 	}
-	tb, err := testbed.NewFromSnapshot(ra.Opts, ra.Machine)
+	reseed := ctx.Seed != a.Root
+	var online int64
+	if reseed {
+		online = sim.DeriveSeedParts(ctx.Seed, "online/", label)
+	}
+	if ctx.Rigs != nil {
+		if r := ctx.Rigs.take(ra.clonePoolKey()); r != nil {
+			r.adopt(ra, reseed, online)
+			ctx.Rigs.track(r)
+			return r, nil
+		}
+	}
+	r, err := freshRig(ra, reseed, online)
 	if err != nil {
 		return nil, err
 	}
-	spy := probe.RestoreSpy(tb, ra.Spy)
-	groups := make([]probe.EvictionSet, len(ra.Groups))
-	for i, g := range ra.Groups {
-		groups[i] = probe.EvictionSet{
-			ID:      g.ID,
-			Lines:   append([]uint64(nil), g.Lines...),
-			Members: append([]uint64(nil), g.Members...),
-		}
+	if ctx.Rigs != nil {
+		r.poolKey = ra.clonePoolKey()
+		ctx.Rigs.track(r)
 	}
-	if ctx.Seed != a.Root {
-		tb.ReseedOnline(sim.DeriveSeed(ctx.Seed, "online/"+label))
-	}
-	return &attackRig{tb: tb, spy: spy, groups: groups, ccfg: tb.Cache().Config()}, nil
+	return r, nil
 }
 
 // ArtifactStore is the content-addressed cache of prepared machines a

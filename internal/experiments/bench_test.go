@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// The clone-path benchmarks measure what one warm trial pays to get a
+// measurable machine out of a prepared artifact — the per-trial setup cost
+// the rig pool exists to kill. Pooled vs fresh is the before/after of the
+// same operation: BenchmarkRigCloneFresh builds a shell and restores into
+// it (the historical per-trial path), BenchmarkRigLeasePooled adopts a
+// recycled rig in place. Both run the reseeded variant, the steady state
+// of every warm trial after the first.
+
+func benchArtifact(b *testing.B) *Artifact {
+	b.Helper()
+	art, err := PrepareFig10(PrepareCtx{Scale: Demo, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return art
+}
+
+func BenchmarkRigLeasePooled(b *testing.B) {
+	art := benchArtifact(b)
+	lease := NewRigPool().Lease()
+	m := MeasureCtx{Scale: Demo, Seed: 2, Rigs: lease}
+	for i := 0; i < 3; i++ { // grow the pooled buffers to steady state
+		if _, err := art.rig("rig", m); err != nil {
+			b.Fatal(err)
+		}
+		lease.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := art.rig("rig", m); err != nil {
+			b.Fatal(err)
+		}
+		lease.Release()
+	}
+}
+
+func BenchmarkRigCloneFresh(b *testing.B) {
+	art := benchArtifact(b)
+	m := MeasureCtx{Scale: Demo, Seed: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := art.rig("rig", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

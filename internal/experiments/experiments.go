@@ -188,6 +188,10 @@ type attackRig struct {
 	spy    *probe.Spy
 	groups []probe.EvictionSet
 	ccfg   cache.Config
+	// poolKey is the machine's OfflineFingerprint when the rig is pool-
+	// managed ("" otherwise): RigPool reuses a rig only for artifacts with
+	// an identical fingerprint, i.e. identical buffer geometry.
+	poolKey string
 }
 
 func newAttackRig(scale Scale, seed int64) (*attackRig, error) {

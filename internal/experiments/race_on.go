@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// steady-state zero-allocation assertion skips under -race: the detector
+// instruments allocations and would fail the test for its own bookkeeping.
+const raceEnabled = true

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/probe"
+	"repro/internal/testbed"
+)
+
+// RigPool recycles cloned machines across trials. Artifact.rig used to
+// build every clone from scratch — fresh cache line array, allocator
+// bitmap, NIC ring, deep-copied eviction sets, roughly 12 MB and dozens of
+// allocations per trial — even though consecutive trials on a worker
+// almost always measure machines of identical geometry. The pool keeps
+// finished rigs, keyed by their options' OfflineFingerprint, and a later
+// lease with a matching fingerprint adopts one in place: every buffer is
+// reused and the restore is pure memcpy (see testbed.AdoptSnapshot).
+//
+// The fingerprint key is what makes cross-artifact reuse safe. It covers
+// everything that shapes a machine's buffers — cache geometry and
+// latencies, NIC/driver config, memory size — while everything it excludes
+// (seed, noise rate, timer noise, and all machine *state*) is carried by
+// the snapshot and overwritten wholesale on adoption. A rig that ran a
+// timer-coarsened defended trial can therefore back an undefended trial
+// next, or vice versa, with bit-identical results; geometry-changing
+// defenses (partitioning, DDIO off) land under different keys and never
+// mix. A leased rig poisoned by a partial, panicked Measure heals the same
+// way: the next adoption overwrites every mutable field.
+//
+// The pool is mutex-guarded so one pool MAY be shared across goroutines,
+// but the runner deliberately gives each worker its own (an uncontended
+// mutex costs nanoseconds and per-worker pools keep rig reuse order — and
+// thus memory footprint — independent of scheduling).
+type RigPool struct {
+	mu   sync.Mutex
+	idle map[string][]*attackRig
+}
+
+// maxIdlePerKey caps how many idle rigs one key retains. A single
+// matrix-style trial leases ~20 rigs of one geometry before releasing any
+// of them; the cap keeps that worst case pooled while bounding the pool's
+// footprint if an experiment ever leases an unbounded batch.
+const maxIdlePerKey = 32
+
+// NewRigPool returns an empty pool.
+func NewRigPool() *RigPool {
+	return &RigPool{idle: make(map[string][]*attackRig)}
+}
+
+// take removes and returns an idle rig for key, or nil when none is
+// pooled (the caller falls back to a fresh clone).
+func (p *RigPool) take(key string) *attackRig {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rigs := p.idle[key]
+	if len(rigs) == 0 {
+		return nil
+	}
+	r := rigs[len(rigs)-1]
+	rigs[len(rigs)-1] = nil
+	p.idle[key] = rigs[:len(rigs)-1]
+	return r
+}
+
+// put returns a rig to the idle set. Rigs above the per-key cap are
+// dropped for the garbage collector.
+func (p *RigPool) put(r *attackRig) {
+	if r == nil || r.poolKey == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rigs := p.idle[r.poolKey]
+	if len(rigs) >= maxIdlePerKey {
+		return
+	}
+	p.idle[r.poolKey] = append(rigs, r)
+}
+
+// Lease opens a lease on the pool. The runner holds one lease per worker
+// per trial: rigs cloned during the trial are tracked on the lease, and
+// Release after the trial returns them all to the pool — whether the
+// trial's Measure finished, errored, or panicked, since adoption restores
+// a rig from any state.
+func (p *RigPool) Lease() *RigLease {
+	return &RigLease{pool: p}
+}
+
+// RigLease tracks the rigs one trial has drawn from (or registered with) a
+// pool. It is single-goroutine, like the Measure it serves; only the
+// underlying pool is shared. A nil lease is valid and disables pooling —
+// every clone is built fresh and dropped, the historical behavior.
+type RigLease struct {
+	pool   *RigPool
+	leased []*attackRig
+}
+
+// take leases an idle rig for key, or nil when pooling is off or the pool
+// has none.
+func (l *RigLease) take(key string) *attackRig {
+	if l == nil {
+		return nil
+	}
+	return l.pool.take(key)
+}
+
+// track registers a rig (freshly built or adopted) for return at Release.
+func (l *RigLease) track(r *attackRig) {
+	if l == nil {
+		return
+	}
+	l.leased = append(l.leased, r)
+}
+
+// Release returns every tracked rig to the pool, reusing the lease's
+// tracking slice for the next trial. Safe on a nil lease.
+func (l *RigLease) Release() {
+	if l == nil {
+		return
+	}
+	for i, r := range l.leased {
+		l.pool.put(r)
+		l.leased[i] = nil
+	}
+	l.leased = l.leased[:0]
+}
+
+// adopt rebinds a pooled rig to the artifact's machine: the testbed is
+// restored in place to the snapshot (reseeding online streams when the
+// trial decorrelates), the spy rebound, and the eviction sets copied into
+// the rig's reused buffers. State-identical to freshRig, allocation-free
+// in steady state.
+func (r *attackRig) adopt(ra *RigArtifact, reseed bool, online int64) {
+	if reseed {
+		r.tb.AdoptSnapshotReseeded(ra.Opts, ra.Machine, online)
+	} else {
+		r.tb.AdoptSnapshot(ra.Opts, ra.Machine)
+	}
+	r.spy.Rebind(r.tb, ra.Spy)
+	r.groups = probe.CopyEvictionSetsInto(r.groups, ra.Groups)
+	r.ccfg = r.tb.Cache().Config()
+}
+
+// freshRig clones an independent machine from the artifact — the
+// non-pooled path, and the fallback when the pool has no rig of matching
+// geometry.
+func freshRig(ra *RigArtifact, reseed bool, online int64) (*attackRig, error) {
+	tb, err := testbed.NewShell(ra.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if reseed {
+		tb.RestoreReseeded(ra.Machine, online)
+	} else {
+		tb.Restore(ra.Machine)
+	}
+	spy := probe.RestoreSpy(tb, ra.Spy)
+	groups := probe.CopyEvictionSetsInto(nil, ra.Groups)
+	return &attackRig{tb: tb, spy: spy, groups: groups, ccfg: tb.Cache().Config()}, nil
+}

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/probe"
+	"repro/internal/scenario"
+)
+
+// driveState runs a fixed, deterministic interaction on a freshly cloned
+// rig and serializes everything it touched: the restored machine state
+// (clock, cache/NIC counters, calibration, eviction sets) and the observed
+// behavior of a short probe-and-idle schedule, which exercises the cache
+// contents, the timer RNG (Touch reads the noisy timer), the noise RNG and
+// noise cursor (Idle syncs the world), and the driver. Two rigs with equal
+// driveState are operationally indistinguishable — the equality the pool's
+// adopt-in-place path is held to.
+func driveState(r *attackRig) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "clock=%d cache=%+v nic=%+v hit=%d miss=%d cal=%v spread=%d k=%d",
+		r.tb.Clock().Now(), r.tb.Cache().Stats(), r.tb.NIC().Stats(),
+		r.spy.HitLatency(), r.spy.MissLatency(), r.spy.Calibrated(),
+		r.spy.NoiseSpread(), r.spy.AmplificationFactor())
+	for _, g := range r.groups {
+		fmt.Fprintf(&sb, "|%d:%v:%v", g.ID, g.Lines, g.Members)
+	}
+	for gi, g := range r.groups {
+		if gi == 4 {
+			break
+		}
+		for _, a := range g.Lines {
+			fmt.Fprintf(&sb, " %d", r.spy.Touch(a))
+		}
+		r.tb.Idle(50_000)
+	}
+	fmt.Fprintf(&sb, "|after clock=%d cache=%+v nic=%+v",
+		r.tb.Clock().Now(), r.tb.Cache().Stats(), r.tb.NIC().Stats())
+	return sb.String()
+}
+
+// poison leaves a rig the way an interrupted, partially executed Measure
+// would: clock advanced, cache and NIC state churned, RNG streams moved,
+// and — the part only buffer-copy bugs would miss — the eviction-set
+// slices themselves scribbled over.
+func poison(r *attackRig) {
+	for i := 0; i < 500; i++ {
+		r.spy.Touch(r.spy.PageBase(i%r.spy.Pages()) + uint64(i%64)*64)
+	}
+	r.tb.Idle(2_000_000)
+	for gi := range r.groups {
+		for li := range r.groups[gi].Lines {
+			r.groups[gi].Lines[li] = 0xdeadbeef
+		}
+		r.groups[gi].Members = r.groups[gi].Members[:0]
+	}
+}
+
+// dirtyReuseSpecs are the machine variants the reuse property is checked
+// across: the undefended baseline plus one defense from each reuse-relevant
+// class — timer coarsening (same geometry key as the baseline, so the pool
+// WILL share rigs across the defense boundary and the snapshot must carry
+// everything), adaptive partitioning and DDIO-off (different geometry keys,
+// exercising multiple keys in one pool).
+func dirtyReuseSpecs(scale Scale) map[string]scenario.Spec {
+	base := baselineSpec(scale)
+	return map[string]scenario.Spec{
+		"baseline":     base,
+		"timer-coarse": base.WithDefense(defense.TimerCoarsening{Jitter: 64}),
+		"partition":    base.WithDefense(defense.AdaptivePartitioning{}),
+		"no-ddio":      base.WithDefense(defense.DisableDDIO{}),
+	}
+}
+
+// TestRigPoolDirtyReuseMatchesFresh: a pooled rig poisoned by a partial
+// Measure must, on its next lease, behave identically to a fresh clone of
+// the same artifact — across defenses, attacker strategies, and seeds.
+// This is the pool's correctness contract: adoption overwrites every
+// mutable field, so no trace of the previous trial (or its crash) leaks
+// into the next one.
+func TestRigPoolDirtyReuseMatchesFresh(t *testing.T) {
+	strategies := map[string]probe.Strategy{
+		"fine":      probe.DefaultStrategy(),
+		"amplified": probe.AmplifiedStrategy(),
+	}
+	for specName, spec := range dirtyReuseSpecs(Demo) {
+		for stratName, strat := range strategies {
+			for _, seed := range []int64{3, 11} {
+				name := fmt.Sprintf("%s/%s/seed%d", specName, stratName, seed)
+				t.Run(name, func(t *testing.T) {
+					ctx := PrepareCtx{Scale: Demo, Seed: seed}
+					art := ctx.NewArtifact()
+					if err := ctx.AddSpecRigStrategy(art, "rig", spec, seed, strat); err != nil {
+						t.Fatal(err)
+					}
+					// Measure seed != root: the reseeded warm-trial path.
+					m := MeasureCtx{Scale: Demo, Seed: seed + 1}
+					fresh, err := art.rig("rig", m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := driveState(fresh)
+
+					lease := NewRigPool().Lease()
+					mp := m
+					mp.Rigs = lease
+					victim, err := art.rig("rig", mp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					poison(victim)
+					lease.Release()
+					reused, err := art.rig("rig", mp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if reused != victim {
+						t.Fatal("pool did not hand back the poisoned rig")
+					}
+					if got := driveState(reused); got != want {
+						t.Errorf("reused rig diverged from fresh clone:\nfresh:  %s\nreused: %s", want, got)
+					}
+					lease.Release()
+
+					// The non-reseeded path (measure seed == root, the
+					// single-shot Run identity) must survive reuse too.
+					m0 := MeasureCtx{Scale: Demo, Seed: seed}
+					f0, err := art.rig("rig", m0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want0 := driveState(f0)
+					m0.Rigs = lease
+					r0, err := art.rig("rig", m0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got0 := driveState(r0); got0 != want0 {
+						t.Errorf("non-reseeded reuse diverged:\nfresh:  %s\nreused: %s", want0, got0)
+					}
+					lease.Release()
+				})
+			}
+		}
+	}
+}
+
+// TestRigPoolCrossArtifactReuse: two artifacts with equal geometry but
+// different seeds (distinct machines, same OfflineFingerprint) must share
+// pooled rigs, and a rig that last served artifact A must serve artifact B
+// exactly like B's own fresh clone. This is the cross-defense shell-reuse
+// guarantee the fingerprint key provides.
+func TestRigPoolCrossArtifactReuse(t *testing.T) {
+	ctxA := PrepareCtx{Scale: Demo, Seed: 3}
+	artA, err := PrepareFig10(ctxA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB := PrepareCtx{Scale: Demo, Seed: 4}
+	artB, err := PrepareFig10(ctxB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB := MeasureCtx{Scale: Demo, Seed: 9}
+	freshB, err := artB.rig("rig", mB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveState(freshB)
+
+	lease := NewRigPool().Lease()
+	mA := MeasureCtx{Scale: Demo, Seed: 9, Rigs: lease}
+	rigA, err := artA.rig("rig", mA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison(rigA)
+	lease.Release()
+	mB.Rigs = lease
+	reused, err := artB.rig("rig", mB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != rigA {
+		t.Fatal("equal-geometry artifacts must share pooled rigs")
+	}
+	if got := driveState(reused); got != want {
+		t.Errorf("cross-artifact reuse diverged from B's fresh clone:\nfresh:  %s\nreused: %s", want, got)
+	}
+}
+
+// TestRigPoolSharedConcurrentStress: one pool shared by many goroutines,
+// each leasing, driving, poisoning, and releasing rigs of two geometries
+// concurrently. Every drive must reproduce the single-threaded reference
+// bytes, and the -race build must observe no data race — the pool is
+// documented mutex-safe even though the runner shards it per worker.
+func TestRigPoolSharedConcurrentStress(t *testing.T) {
+	ctx := PrepareCtx{Scale: Demo, Seed: 5}
+	art := ctx.NewArtifact()
+	base := baselineSpec(Demo)
+	if err := ctx.AddSpecRig(art, "a", base, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AddSpecRig(art, "b", base.WithDefense(defense.DisableDDIO{}), 5); err != nil {
+		t.Fatal(err)
+	}
+	m := MeasureCtx{Scale: Demo, Seed: 6}
+	want := map[string]string{}
+	for _, label := range []string{"a", "b"} {
+		r, err := art.rig(label, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[label] = driveState(r)
+	}
+
+	pool := NewRigPool()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lease := pool.Lease()
+			mc := m
+			mc.Rigs = lease
+			for i := 0; i < 6; i++ {
+				label := []string{"a", "b"}[(w+i)%2]
+				r, err := art.rig(label, mc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := driveState(r); got != want[label] {
+					errs <- fmt.Errorf("worker %d iter %d: rig %q diverged under shared pool", w, i, label)
+					return
+				}
+				poison(r)
+				lease.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRigLeaseSteadyStateZeroAlloc pins the tentpole's headline number:
+// once a worker's pool is warm, leasing a rig for a trial — take, adopt
+// (restore + reseed + spy rebind + eviction-set copy), track, release —
+// performs zero heap allocations. Guarded from -race builds, whose
+// instrumentation allocates.
+func TestRigLeaseSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under the race detector")
+	}
+	ctx := PrepareCtx{Scale: Demo, Seed: 7}
+	art, err := PrepareFig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := NewRigPool().Lease()
+	// Reseeded path: the steady state of every warm trial after the first.
+	m := MeasureCtx{Scale: Demo, Seed: 8, Rigs: lease}
+	for i := 0; i < 3; i++ { // grow every reused buffer to size
+		if _, err := art.rig("rig", m); err != nil {
+			t.Fatal(err)
+		}
+		lease.Release()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		r, err := art.rig("rig", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = r
+		lease.Release()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state rig lease = %v allocs/trial, want 0", allocs)
+	}
+
+	// The non-reseeded lease (measure seed == root) must hold the same bar.
+	m0 := MeasureCtx{Scale: Demo, Seed: 7, Rigs: lease}
+	for i := 0; i < 3; i++ {
+		if _, err := art.rig("rig", m0); err != nil {
+			t.Fatal(err)
+		}
+		lease.Release()
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := art.rig("rig", m0); err != nil {
+			t.Fatal(err)
+		}
+		lease.Release()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state non-reseeded rig lease = %v allocs/trial, want 0", allocs)
+	}
+}
+
+// TestRigPoolCapBounds: the per-key idle cap drops rigs instead of growing
+// without bound.
+func TestRigPoolCapBounds(t *testing.T) {
+	pool := NewRigPool()
+	for i := 0; i < maxIdlePerKey+5; i++ {
+		pool.put(&attackRig{poolKey: "k"})
+	}
+	if n := len(pool.idle["k"]); n != maxIdlePerKey {
+		t.Fatalf("idle rigs = %d, want cap %d", n, maxIdlePerKey)
+	}
+	// Untracked rigs (poolKey unset) are never pooled.
+	pool.put(&attackRig{})
+	if n := len(pool.idle[""]); n != 0 {
+		t.Fatalf("rig with empty key pooled: %d", n)
+	}
+}

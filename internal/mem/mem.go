@@ -99,11 +99,20 @@ type AllocatorState struct {
 // Snapshot captures the allocator's state. The returned value is immutable
 // and safe to restore into any allocator built over the same memory size.
 func (al *Allocator) Snapshot() *AllocatorState {
-	return &AllocatorState{
-		free:     append([]uint64(nil), al.free...),
-		used:     append([]bool(nil), al.used...),
-		numPages: al.numPages,
-	}
+	st := &AllocatorState{}
+	al.SnapshotInto(st)
+	return st
+}
+
+// SnapshotInto captures the allocator's state into a caller-owned scratch
+// snapshot, reusing its backing slices. It exists for the offline/build
+// path and benchmarks that snapshot repeatedly; a snapshot filed in an
+// artifact must be a fresh Snapshot(), since artifacts rely on snapshot
+// immutability.
+func (al *Allocator) SnapshotInto(st *AllocatorState) {
+	st.free = append(st.free[:0], al.free...)
+	st.used = append(st.used[:0], al.used...)
+	st.numPages = al.numPages
 }
 
 // allocatorStateGob mirrors AllocatorState with exported fields for the
@@ -152,13 +161,16 @@ func (st *AllocatorState) GobDecode(b []byte) error {
 }
 
 // Restore overwrites the allocator's state from a snapshot. It panics on a
-// memory-size mismatch (snapshots never move between machine shapes).
+// memory-size mismatch (snapshots never move between machine shapes). The
+// copies reuse the allocator's existing backing arrays: once they have
+// grown to the free-list's size, repeated restores — the rig-pool lease
+// path runs one per warm trial — are pure memcpys with zero allocations.
 func (al *Allocator) Restore(st *AllocatorState) {
 	if st.numPages != al.numPages {
 		panic(fmt.Sprintf("mem: restoring %d-page snapshot into %d-page allocator", st.numPages, al.numPages))
 	}
-	al.free = append(al.free[:0:0], st.free...)
-	al.used = append(al.used[:0:0], st.used...)
+	al.free = append(al.free[:0], st.free...)
+	al.used = append(al.used[:0], st.used...)
 }
 
 // AllocPage returns the base address of a newly allocated physical page.
@@ -246,6 +258,14 @@ func NewRegion(al *Allocator, n int) (*Region, error) {
 // re-allocated. The page list is copied.
 func RegionFromPages(pages []Addr) *Region {
 	return &Region{pages: append([]Addr(nil), pages...)}
+}
+
+// SetPages re-points an existing region at a new page list (copied into
+// the region's reused backing array) — RegionFromPages for the rig-pool
+// reuse path, where the spy's region object survives across leases and a
+// fresh allocation per lease would defeat the pool.
+func (r *Region) SetPages(pages []Addr) {
+	r.pages = append(r.pages[:0], pages...)
 }
 
 // PageAddrs returns the physical base addresses of the region's pages, in

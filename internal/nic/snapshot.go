@@ -47,18 +47,12 @@ func NewShell(cfg Config, c *cache.Cache, alloc *mem.Allocator, clock *sim.Clock
 	}, nil
 }
 
-// Snapshot captures the NIC+driver state.
+// Snapshot captures the NIC+driver state. The returned value is immutable
+// and safe to restore into any NIC with the same ring geometry.
 func (n *NIC) Snapshot() *Snapshot {
-	s := &Snapshot{
-		ring:     append([]descriptor(nil), n.ring...),
-		head:     n.head,
-		queue:    append([]pending(nil), n.queue...),
-		skb:      append([]mem.Addr(nil), n.skb...),
-		skbIdx:   n.skbIdx,
-		descRing: n.descRing,
-		sincePct: n.sincePct,
-		stats:    n.stats,
-	}
+	s := &Snapshot{}
+	n.SnapshotInto(s)
+	// The scratch path reuses s.rng; a fresh snapshot owns its state.
 	if n.rng != nil {
 		st := n.rng.Snapshot()
 		s.rng = &st
@@ -66,21 +60,35 @@ func (n *NIC) Snapshot() *Snapshot {
 	return s
 }
 
+// SnapshotInto captures the NIC+driver state into a caller-owned scratch
+// snapshot, reusing its backing slices (and the RNG-state box, once one
+// exists). It exists for the offline/build path and benchmarks that
+// snapshot repeatedly; a snapshot filed in an artifact must be a fresh
+// Snapshot(), since artifacts rely on snapshot immutability.
+func (n *NIC) SnapshotInto(s *Snapshot) {
+	s.ring = append(s.ring[:0], n.ring...)
+	s.head = n.head
+	s.queue = append(s.queue[:0], n.queue...)
+	s.skb = append(s.skb[:0], n.skb...)
+	s.skbIdx = n.skbIdx
+	s.descRing = n.descRing
+	s.sincePct = n.sincePct
+	s.stats = n.stats
+	switch {
+	case n.rng == nil:
+		s.rng = nil
+	case s.rng == nil:
+		st := n.rng.Snapshot()
+		s.rng = &st
+	default:
+		*s.rng = n.rng.Snapshot()
+	}
+}
+
 // Restore overwrites the NIC's mutable state from a snapshot taken on a
 // NIC with the same ring geometry. It panics on a geometry mismatch.
 func (n *NIC) Restore(s *Snapshot) {
-	if len(s.ring) != len(n.ring) || len(s.skb) != len(n.skb) {
-		panic(fmt.Sprintf("nic: restoring %d-desc/%d-skb snapshot into %d-desc/%d-skb driver",
-			len(s.ring), len(s.skb), len(n.ring), len(n.skb)))
-	}
-	copy(n.ring, s.ring)
-	n.head = s.head
-	n.queue = append(n.queue[:0:0], s.queue...)
-	copy(n.skb, s.skb)
-	n.skbIdx = s.skbIdx
-	n.descRing = s.descRing
-	n.sincePct = s.sincePct
-	n.stats = s.stats
+	n.restoreCore(s)
 	switch {
 	case s.rng == nil:
 		n.rng = nil
@@ -90,6 +98,39 @@ func (n *NIC) Restore(s *Snapshot) {
 	default:
 		n.rng.Restore(*s.rng)
 	}
+}
+
+// RestoreSkipRNG is Restore minus the driver-RNG replay, for callers that
+// reseed the RNG immediately afterwards (testbed.RestoreReseeded): replaying
+// a long offline draw history just to throw the position away is the single
+// largest cost of a warm restore. The RNG keeps its nil-ness in sync with
+// the snapshot so the subsequent ReseedRNG sees the right shape.
+func (n *NIC) RestoreSkipRNG(s *Snapshot) {
+	n.restoreCore(s)
+	switch {
+	case s.rng == nil:
+		n.rng = nil
+	case n.rng == nil:
+		n.rng = sim.NewRNG(s.rng.Seed)
+	}
+}
+
+// restoreCore copies everything but the RNG, reusing the NIC's existing
+// backing arrays — steady-state restores (one per rig-pool lease) are pure
+// memcpys with zero allocations.
+func (n *NIC) restoreCore(s *Snapshot) {
+	if len(s.ring) != len(n.ring) || len(s.skb) != len(n.skb) {
+		panic(fmt.Sprintf("nic: restoring %d-desc/%d-skb snapshot into %d-desc/%d-skb driver",
+			len(s.ring), len(s.skb), len(n.ring), len(n.skb)))
+	}
+	copy(n.ring, s.ring)
+	n.head = s.head
+	n.queue = append(n.queue[:0], s.queue...)
+	copy(n.skb, s.skb)
+	n.skbIdx = s.skbIdx
+	n.descRing = s.descRing
+	n.sincePct = s.sincePct
+	n.stats = s.stats
 }
 
 // descriptorGob and pendingGob mirror the unexported ring structs with
@@ -164,7 +205,13 @@ func (s *Snapshot) GobDecode(b []byte) error {
 // ReseedRNG re-derives the driver's RNG stream from a fresh seed — the
 // online-phase decorrelation hook (testbed.ReseedOnline). The driver draws
 // randomness only for buffer reallocation, so with ReallocProb == 0 and no
-// §VI defense this is a no-op in effect.
+// §VI defense this is a no-op in effect. An existing RNG is reseeded in
+// place (the rig-lease path reseeds once per warm trial).
 func (n *NIC) ReseedRNG(seed int64) {
-	n.rng = sim.Derive(seed, "driver-online")
+	s := sim.DeriveSeed(seed, "driver-online")
+	if n.rng != nil {
+		n.rng.Reseed(s)
+		return
+	}
+	n.rng = sim.NewRNG(s)
 }

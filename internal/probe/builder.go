@@ -19,6 +19,25 @@ type EvictionSet struct {
 	Members []uint64
 }
 
+// CopyEvictionSetsInto deep-copies src over dst, reusing dst's backing
+// slices (outer and per-set inner) wherever they are large enough. It is
+// the rig-pool counterpart of the clone the warm-start path used to build
+// per trial: a pooled rig's eviction sets are overwritten in place on each
+// lease, allocation-free once the buffers have grown to size. The result
+// aliases nothing in src.
+func CopyEvictionSetsInto(dst []EvictionSet, src []EvictionSet) []EvictionSet {
+	if cap(dst) < len(src) {
+		dst = make([]EvictionSet, len(src))
+	}
+	dst = dst[:len(src)]
+	for i := range src {
+		dst[i].ID = src[i].ID
+		dst[i].Lines = append(dst[i].Lines[:0], src[i].Lines...)
+		dst[i].Members = append(dst[i].Members[:0], src[i].Members...)
+	}
+	return dst
+}
+
 // Offset returns the eviction set for the k-th cache block of the same
 // pages: every line shifted by k*64 bytes. For page-aligned bases and
 // k < 64 the shift flips only low set-index bits, which changes the slice

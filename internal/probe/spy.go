@@ -128,6 +128,30 @@ func RestoreSpy(tb *testbed.Testbed, st SpyState) *Spy {
 	}
 }
 
+// Rebind is RestoreSpy into an existing spy: the spy object and its region
+// survive, and the captured state is copied over them (pages into the
+// region's reused backing array). It serves the rig-pool lease path, where
+// a pooled spy is rebound to a restored machine once per warm trial and
+// must not allocate. The testbed must be the machine the accompanying
+// snapshot was restored into.
+func (s *Spy) Rebind(tb *testbed.Testbed, st SpyState) {
+	factor := st.Factor
+	if factor < 1 {
+		factor = 1 // states captured before strategies existed
+	}
+	s.tb = tb
+	s.cache = tb.Cache()
+	s.clock = tb.Clock()
+	s.region.SetPages(st.Pages)
+	s.strat = st.Strategy.withDefaults()
+	s.OverheadPerAccess = st.OverheadPerAccess
+	s.hitLat = st.HitLat
+	s.missLat = st.MissLat
+	s.degenerate = st.Degenerate
+	s.spread = st.Spread
+	s.factor = factor
+}
+
 // Pages returns the number of pages in the spy's buffer.
 func (s *Spy) Pages() int { return s.region.Pages() }
 

@@ -66,6 +66,12 @@ type Config struct {
 	// Requires CheckpointDir: a budgeted run without a journal would
 	// simply discard its work.
 	TrialBudget int
+	// NoRigReuse disables the per-worker rig pools that recycle cloned
+	// machines across trials (see experiments.RigPool). The zero value —
+	// pooling on — is correct for every workload; the flag exists for
+	// debugging and for the equivalence tests that pin pooled == unpooled
+	// report bytes. Never changes report bytes.
+	NoRigReuse bool
 	// Progress, when non-nil, receives progress output (typically
 	// os.Stderr): a rate-limited done/total+ETA summary line by default,
 	// or one line per completed trial when Verbose is set.
@@ -149,7 +155,7 @@ func (c Config) validate() error {
 type execUnit struct {
 	key   string
 	label string
-	run   func(trial int) (experiments.Result, error)
+	run   func(trial int, rigs *experiments.RigLease) (experiments.Result, error)
 }
 
 // execute is the streaming executor both Run and RunSweep share. It
@@ -239,6 +245,16 @@ func (r *Runner) execute(ident checkpointIdentity, units []execUnit, trials int)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a rig pool: trials it runs back to back
+			// recycle cloned machines instead of constructing them (see
+			// experiments.RigPool). Per-worker pools need no cross-worker
+			// coordination and keep reuse order deterministic per worker;
+			// pooling never changes report bytes, so sharing wider would
+			// buy nothing but contention.
+			var rigs *experiments.RigLease
+			if !r.cfg.NoRigReuse {
+				rigs = experiments.NewRigPool().Lease()
+			}
 			for s := range jobs {
 				u := units[s.ui]
 				// A shared pool gates only the compute, not the streaming:
@@ -247,7 +263,12 @@ func (r *Runner) execute(ident checkpointIdentity, units []execUnit, trials int)
 					r.cfg.Pool.acquire()
 				}
 				start := time.Now()
-				res, err := u.run(s.ti)
+				res, err := u.run(s.ti, rigs)
+				// Rigs return to the pool whether the trial finished,
+				// errored, or panicked (safeCall converted it): the next
+				// adoption overwrites every mutable field, so a poisoned
+				// rig heals on reuse.
+				rigs.Release()
 				wall := time.Since(start)
 				if r.cfg.Pool != nil {
 					r.cfg.Pool.release()
@@ -318,8 +339,8 @@ func (r *Runner) Run(selected []experiments.Experiment, job Job) (*Report, error
 		units[i] = execUnit{
 			key:   e.ID,
 			label: e.ID,
-			run: func(trial int) (experiments.Result, error) {
-				return runTrial(e, job.Scale, job.Seed, trial, store)
+			run: func(trial int, rigs *experiments.RigLease) (experiments.Result, error) {
+				return runTrial(e, job.Scale, job.Seed, trial, store, rigs)
 			},
 		}
 	}
@@ -373,8 +394,8 @@ func (r *Runner) RunSweep(sw experiments.Sweep, job Job) (*SweepReport, error) {
 		units[i] = execUnit{
 			key:   cell.Key(),
 			label: sw.ID + "[" + cell.Key() + "]",
-			run: func(trial int) (experiments.Result, error) {
-				return runSweepTrial(sw, job.Scale, job.Seed, cell, trial, store)
+			run: func(trial int, rigs *experiments.RigLease) (experiments.Result, error) {
+				return runSweepTrial(sw, job.Scale, job.Seed, cell, trial, store, rigs)
 			},
 		}
 	}

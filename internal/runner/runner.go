@@ -124,7 +124,7 @@ func safeCall(run func() (experiments.Result, error)) (res experiments.Result, e
 // design ("prepare once, measure many"); that is a semantic choice, not
 // an optimization, and holds in warm and cold mode alike — cold merely
 // rebuilds the same trial-0 machine each time instead of caching it.
-func runTrial(e experiments.Experiment, scale experiments.Scale, root int64, trial int, store *experiments.ArtifactStore) (experiments.Result, error) {
+func runTrial(e experiments.Experiment, scale experiments.Scale, root int64, trial int, store *experiments.ArtifactStore, rigs *experiments.RigLease) (experiments.Result, error) {
 	seed := TrialSeed(root, e.ID, trial)
 	if !e.Phased() {
 		return safeCall(func() (experiments.Result, error) { return e.Run(scale, seed) })
@@ -138,7 +138,7 @@ func runTrial(e experiments.Experiment, scale experiments.Scale, root int64, tri
 		if err != nil {
 			return experiments.Result{}, err
 		}
-		return e.Measure(experiments.MeasureCtx{Scale: scale, Seed: seed}, art)
+		return e.Measure(experiments.MeasureCtx{Scale: scale, Seed: seed, Rigs: rigs}, art)
 	})
 }
 

@@ -103,7 +103,7 @@ func SweepOfflineSeed(root int64, sweepID string) int64 {
 // runSweepTrial executes one (cell, trial). Phase-split sweeps prepare
 // their cell's machines (against the shared store when warm) and measure
 // on clones; legacy sweeps run monolithically.
-func runSweepTrial(sw experiments.Sweep, scale experiments.Scale, root int64, cell scenario.Cell, trial int, store *experiments.ArtifactStore) (experiments.Result, error) {
+func runSweepTrial(sw experiments.Sweep, scale experiments.Scale, root int64, cell scenario.Cell, trial int, store *experiments.ArtifactStore, rigs *experiments.RigLease) (experiments.Result, error) {
 	seed := CellSeed(root, sw.ID, cell.Key(), trial)
 	if !sw.Phased() {
 		return safeCall(func() (experiments.Result, error) { return sw.Run(scale, seed, cell) })
@@ -117,7 +117,7 @@ func runSweepTrial(sw experiments.Sweep, scale experiments.Scale, root int64, ce
 		if err != nil {
 			return experiments.Result{}, err
 		}
-		return sw.Measure(experiments.MeasureCtx{Scale: scale, Seed: seed}, art, cell)
+		return sw.Measure(experiments.MeasureCtx{Scale: scale, Seed: seed, Rigs: rigs}, art, cell)
 	})
 }
 

@@ -62,17 +62,29 @@ func (r *RNG) Snapshot() RNGState {
 }
 
 // Restore rewinds (or fast-forwards) the RNG to a previously captured
-// position by reseeding and replaying the source. The cost is one cheap
-// generator step per recorded draw; even multi-minute simulated offline
-// phases replay in milliseconds.
+// position, in place and without allocating. When the stream already sits
+// on the right seed at or before the target position, only the delta is
+// replayed — restoring a machine whose long offline phase burned millions
+// of draws costs O(position difference), not O(total history). A seed
+// mismatch, or a position past the target, falls back to reseeding and
+// replaying from the start; either way the cost per replayed draw is one
+// cheap generator step.
 func (r *RNG) Restore(st RNGState) {
-	src := &countedSource{src: rand.NewSource(st.Seed).(rand.Source64), seedv: st.Seed}
-	for i := uint64(0); i < st.Draws; i++ {
-		src.src.Uint64()
+	if r.src.seedv != st.Seed || r.src.draws > st.Draws {
+		r.src.Seed(st.Seed)
 	}
-	src.draws = st.Draws
-	r.src = src
-	r.Rand = rand.New(src)
+	for r.src.draws < st.Draws {
+		r.src.src.Uint64()
+		r.src.draws++
+	}
+}
+
+// Reseed resets the RNG, in place, to the start of the stream for seed —
+// equivalent to replacing it with NewRNG(seed) but allocation-free. The
+// online-phase decorrelation hooks (testbed.ReseedOnline) run once per
+// warm-started trial, so this sits on the rig-lease hot path.
+func (r *RNG) Reseed(seed int64) {
+	r.src.Seed(seed)
 }
 
 // DeriveSeed maps a root seed plus a stream label to a new seed that is
@@ -81,12 +93,28 @@ func (r *RNG) Restore(st RNGState) {
 // (e.g. the experiment runner deriving per-trial seeds) rather than an
 // RNG.
 func DeriveSeed(root int64, label string) int64 {
-	h := uint64(root)
+	return finalizeSeed(mixLabel(uint64(root), label))
+}
+
+// DeriveSeedParts is DeriveSeed(root, a+b) without materializing the
+// concatenated label. Call sites that derive per-rig online seeds from a
+// constant prefix plus a rig label use it to keep the warm-trial lease
+// path allocation-free.
+func DeriveSeedParts(root int64, a, b string) int64 {
+	return finalizeSeed(mixLabel(mixLabel(uint64(root), a), b))
+}
+
+// mixLabel folds a label into the running seed hash (FNV-style).
+func mixLabel(h uint64, label string) uint64 {
 	for _, c := range label {
 		h ^= uint64(c)
 		h *= 0x100000001b3 // FNV prime
 	}
-	// splitmix64 finalizer for avalanche.
+	return h
+}
+
+// finalizeSeed is the splitmix64 finalizer for avalanche.
+func finalizeSeed(h uint64) int64 {
 	h += 0x9e3779b97f4a7c15
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb

@@ -82,6 +82,81 @@ func TestRNGSnapshotOfDerivedStream(t *testing.T) {
 	}
 }
 
+// TestRNGDeltaRestoreMatchesScratch: the property behind the O(Δ)
+// fast-forward. Restoring a stream that already sits at or before the
+// target position replays only the delta; the result must be draw-for-draw
+// identical to restoring the same state into a completely fresh RNG (which
+// replays from the seed). Covers the delta path, the overshoot-rewind
+// path (current position past the target), and the seed-mismatch path.
+func TestRNGDeltaRestoreMatchesScratch(t *testing.T) {
+	check := func(seed int64, burn, extra uint8) bool {
+		orig := NewRNG(seed)
+		for i := 0; i < int(burn); i++ {
+			orig.Int63()
+		}
+		st := orig.Snapshot()
+
+		// Delta path: same seed, position behind the target.
+		delta := NewRNG(seed)
+		for i := 0; i < int(burn)/2; i++ {
+			delta.Int63()
+		}
+		// Overshoot path: same seed, position past the target.
+		over := NewRNG(seed)
+		for i := 0; i < int(burn)+int(extra)+1; i++ {
+			over.Int63()
+		}
+		// Mismatch path: different seed entirely.
+		other := NewRNG(seed + 1)
+		other.Int63()
+
+		scratch := NewRNG(0)
+		for _, r := range []*RNG{delta, over, other, scratch} {
+			r.Restore(st)
+			if got := r.Snapshot(); got != st {
+				t.Fatalf("restored position %+v want %+v", got, st)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			want := scratch.Int63()
+			if delta.Int63() != want || over.Int63() != want || other.Int63() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRNGReseedMatchesNew: in-place Reseed is NewRNG by another name.
+func TestRNGReseedMatchesNew(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 57; i++ {
+		r.Float64()
+	}
+	r.Reseed(99)
+	fresh := NewRNG(99)
+	for i := 0; i < 32; i++ {
+		if r.Int63() != fresh.Int63() {
+			t.Fatal("reseeded stream diverged from fresh RNG")
+		}
+	}
+}
+
+// TestDeriveSeedParts: the two-part derivation must be byte-equivalent to
+// deriving with the concatenated label — call sites use it to avoid the
+// concatenation alloc, not to change the seed space.
+func TestDeriveSeedParts(t *testing.T) {
+	check := func(root int64, a, b string) bool {
+		return DeriveSeedParts(root, a, b) == DeriveSeed(root, a+b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestClockSnapshotRestore: Restore may rewind, unlike AdvanceTo.
 func TestClockSnapshotRestore(t *testing.T) {
 	c := NewClock()

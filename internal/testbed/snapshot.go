@@ -63,14 +63,44 @@ func (tb *Testbed) Snapshot() (*Snapshot, error) {
 	}, nil
 }
 
-// NewFromSnapshot builds an independent machine directly in a snapshot's
-// state — the warm-start clone path. Unlike New followed by Restore, it
-// assembles component shells (no free-list shuffle, no ring/skb/spy page
-// allocation, no RNG warm-up) since Restore overwrites all of that
-// wholesale; the result is state-identical to restoring into a
-// conventionally built testbed with the same options, just cheaper. One
-// immutable snapshot may be cloned concurrently any number of times.
-func NewFromSnapshot(opts Options, s *Snapshot) (*Testbed, error) {
+// SnapshotInto captures the machine state into a caller-owned scratch
+// snapshot, reusing the component snapshots' backing slices. It exists for
+// paths that snapshot repeatedly (offline builds, benchmarks); a snapshot
+// filed in an artifact must be a fresh Snapshot(), since artifacts rely on
+// snapshot immutability. The traffic restriction matches Snapshot.
+func (tb *Testbed) SnapshotInto(s *Snapshot) error {
+	if tb.traffic != nil || tb.nextFrame != nil {
+		return fmt.Errorf("testbed: cannot snapshot with a traffic source installed")
+	}
+	if s.cache == nil {
+		s.cache = &cache.Snapshot{}
+	}
+	if s.alloc == nil {
+		s.alloc = &mem.AllocatorState{}
+	}
+	if s.nic == nil {
+		s.nic = &nic.Snapshot{}
+	}
+	s.clock = tb.clock.Snapshot()
+	tb.cache.SnapshotInto(s.cache)
+	tb.alloc.SnapshotInto(s.alloc)
+	tb.nic.SnapshotInto(s.nic)
+	s.noiseRNG = tb.noiseRNG.Snapshot()
+	s.timerRNG = tb.timerRNG.Snapshot()
+	s.noiseRate = tb.opts.NoiseRate
+	s.timerNoise = tb.opts.TimerNoise
+	s.noisePeriod = tb.noisePeriod
+	s.noiseNextAt = tb.noiseNextAt
+	s.noiseSpace = tb.noiseSpace
+	return nil
+}
+
+// NewShell assembles a machine with no free-list shuffle, no ring/skb page
+// allocation, and no RNG warm-up — a restore target. A shell that is never
+// restored has an empty allocator and a zeroed ring and must not be used;
+// every clone path pairs it with Restore (or a variant), which overwrites
+// all of that wholesale.
+func NewShell(opts Options) (*Testbed, error) {
 	if opts.MemBytes == 0 {
 		opts.MemBytes = 1 << 30
 	}
@@ -81,7 +111,7 @@ func NewFromSnapshot(opts Options, s *Snapshot) (*Testbed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
-	tb := &Testbed{
+	return &Testbed{
 		opts:       opts,
 		clock:      clock,
 		cache:      c,
@@ -90,6 +120,20 @@ func NewFromSnapshot(opts Options, s *Snapshot) (*Testbed, error) {
 		noiseRNG:   sim.NewRNG(0),
 		timerRNG:   sim.NewRNG(0),
 		noiseSpace: opts.MemBytes,
+	}, nil
+}
+
+// NewFromSnapshot builds an independent machine directly in a snapshot's
+// state — the warm-start clone path. Unlike New followed by Restore, it
+// assembles component shells (no free-list shuffle, no ring/skb/spy page
+// allocation, no RNG warm-up) since Restore overwrites all of that
+// wholesale; the result is state-identical to restoring into a
+// conventionally built testbed with the same options, just cheaper. One
+// immutable snapshot may be cloned concurrently any number of times.
+func NewFromSnapshot(opts Options, s *Snapshot) (*Testbed, error) {
+	tb, err := NewShell(opts)
+	if err != nil {
+		return nil, err
 	}
 	tb.Restore(s)
 	return tb, nil
@@ -101,12 +145,32 @@ func NewFromSnapshot(opts Options, s *Snapshot) (*Testbed, error) {
 // installed traffic source is dropped, matching the no-traffic state the
 // snapshot was taken in.
 func (tb *Testbed) Restore(s *Snapshot) {
+	tb.restore(s, true)
+}
+
+// RestoreReseeded is Restore followed by ReseedOnline(seed), except the
+// snapshot's noise/timer/driver RNG positions — which the reseed would
+// immediately discard — are never replayed. Replaying those streams is
+// O(offline draw history) per restore, the dominant cost of warm-starting
+// from a machine whose offline phase burned millions of noise events, so
+// every warm trial that decorrelates its ambient randomness takes this
+// entrance. The result is state-identical to Restore+ReseedOnline.
+func (tb *Testbed) RestoreReseeded(s *Snapshot, seed int64) {
+	tb.restore(s, false)
+	tb.ReseedOnline(seed)
+}
+
+func (tb *Testbed) restore(s *Snapshot, withRNG bool) {
 	tb.clock.Restore(s.clock)
 	tb.cache.Restore(s.cache)
 	tb.alloc.Restore(s.alloc)
-	tb.nic.Restore(s.nic)
-	tb.noiseRNG.Restore(s.noiseRNG)
-	tb.timerRNG.Restore(s.timerRNG)
+	if withRNG {
+		tb.nic.Restore(s.nic)
+		tb.noiseRNG.Restore(s.noiseRNG)
+		tb.timerRNG.Restore(s.timerRNG)
+	} else {
+		tb.nic.RestoreSkipRNG(s.nic)
+	}
 	tb.opts.NoiseRate = s.noiseRate
 	tb.opts.TimerNoise = s.timerNoise
 	tb.noisePeriod = s.noisePeriod
@@ -114,6 +178,34 @@ func (tb *Testbed) Restore(s *Snapshot) {
 	tb.noiseSpace = s.noiseSpace
 	tb.traffic = nil
 	tb.nextFrame = nil
+}
+
+// AdoptSnapshot rebinds a pooled machine to a (possibly different) rig's
+// options and restores it into the snapshot's state, in place. The caller
+// guarantees opts shares the machine's OfflineFingerprint — same geometry,
+// so every buffer is reused — while non-fingerprint options (seed, online
+// knobs) may differ and are adopted wholesale. This is the rig-pool lease
+// path: state-identical to NewFromSnapshot(opts, s) without constructing
+// anything.
+func (tb *Testbed) AdoptSnapshot(opts Options, s *Snapshot) {
+	tb.adopt(opts)
+	tb.restore(s, true)
+}
+
+// AdoptSnapshotReseeded is AdoptSnapshot with the RestoreReseeded entrance:
+// the snapshot's online RNG positions are skipped and re-derived from seed.
+func (tb *Testbed) AdoptSnapshotReseeded(opts Options, s *Snapshot, seed int64) {
+	tb.adopt(opts)
+	tb.restore(s, false)
+	tb.ReseedOnline(seed)
+}
+
+func (tb *Testbed) adopt(opts Options) {
+	if opts.MemBytes == 0 {
+		opts.MemBytes = 1 << 30
+	}
+	tb.opts = opts
+	tb.noiseSpace = opts.MemBytes
 }
 
 // snapshotGob mirrors Snapshot with exported fields for the disk-backed
@@ -211,8 +303,10 @@ func (o Options) OfflineFingerprint() string {
 // Warm-started trials decorrelate this way: every trial measures the same
 // prepared machine, but ambient randomness differs per trial exactly as it
 // would across repeated measurements on real hardware.
+// The streams are reseeded in place — this runs once per warm trial on the
+// rig-lease path and must not allocate.
 func (tb *Testbed) ReseedOnline(seed int64) {
-	tb.noiseRNG = sim.Derive(seed, "noise-online")
-	tb.timerRNG = sim.Derive(seed, "timer-online")
+	tb.noiseRNG.Reseed(sim.DeriveSeed(seed, "noise-online"))
+	tb.timerRNG.Reseed(sim.DeriveSeed(seed, "timer-online"))
 	tb.nic.ReseedRNG(seed)
 }
