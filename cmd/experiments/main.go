@@ -10,6 +10,7 @@
 //	            [-trial-budget N] [-pprof addr] [-format text|json]
 //	            [-o file] [-v|-q]
 //	experiments -sweep id [-defense name,name,...] [same flags]
+//	experiments -search [-search-budget N] [-search-eps E] [same flags]
 //
 // Experiment ids follow the paper: fig5..fig16, table1, table2,
 // fingerprint (use -list for the full set, including sweep ids). Demo
@@ -38,6 +39,17 @@
 // a sweep's defense axis to the named defenses without changing the
 // surviving cells' keys or seeds: a restricted run is byte-identical to
 // the matching slice of the full sweep.
+//
+// -search runs the defense Pareto-frontier search instead: a two-phase
+// driver (coarse grid over partition way-counts, ring re-randomization
+// periods, and timer-coarsening granularities; then hill-climb
+// refinement around the current frontier) scores up to -search-budget
+// candidate defenses on leakage (strongest calibrated attack) versus
+// overhead (perfsim Nginx p99 delta) and emits the ε-non-dominated
+// frontier under the packetchasing-frontier/v1 schema. -search-eps sets
+// the overhead-axis dominance slack (0 = the default 0.005; negative =
+// strict). The report is byte-deterministic across -parallel widths and
+// resumable via -checkpoint-dir/-resume like any other run.
 //
 // Warm starts (the default) exploit the attack's phase structure: the
 // expensive offline phase — eviction-set construction, latency
@@ -85,6 +97,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/search"
 )
 
 func main() {
@@ -103,6 +116,9 @@ func run() int {
 	artifactDir := flag.String("artifact-dir", "", "persist offline artifacts to this directory, content-addressed, so repeated invocations skip offline phases (warm mode only; results are byte-identical either way)")
 	artifactMax := flag.Int64("artifact-max-bytes", 0, "cap the -artifact-dir store at N bytes, evicting least-recently-used entries (0 = unlimited; eviction only costs rebuild time)")
 	defenseFlag := flag.String("defense", "", "comma-separated defense names restricting a sweep's defense axis (requires -sweep; cell keys and seeds match the full sweep's)")
+	searchFlag := flag.Bool("search", false, "run the defense Pareto-frontier search instead of -exp/-sweep")
+	searchBudget := flag.Int("search-budget", 0, "total candidate evaluations for -search (0 = default 240)")
+	searchEps := flag.Float64("search-eps", 0, "overhead-axis ε-dominance slack for -search (0 = default 0.005; negative = strict dominance)")
 	checkpointDir := flag.String("checkpoint-dir", "", "journal each completed trial to this directory, keyed by the run identity (results are byte-identical either way)")
 	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint-dir journal and execute only the rest")
 	trialBudget := flag.Int("trial-budget", 0, "execute at most N trials this invocation (0 = unlimited; requires -checkpoint-dir; exit status 3 when work remains)")
@@ -142,9 +158,25 @@ func run() int {
 		return 2
 	}
 
+	if !*searchFlag && (*searchBudget != 0 || *searchEps != 0) {
+		fmt.Fprintf(os.Stderr, "-search-budget and -search-eps require -search\n")
+		return 2
+	}
 	var selected []experiments.Experiment
 	var sweepSel experiments.Sweep
-	if *sweep != "" {
+	if *searchFlag {
+		if *sweep != "" || *exp != "all" || *defenseFlag != "" {
+			fmt.Fprintf(os.Stderr, "-search is mutually exclusive with -exp, -sweep, and -defense\n")
+			return 2
+		}
+		if *trials != 1 {
+			// A candidate's score is already a pure function of (params,
+			// scale, seed); repeated trials would re-measure identical
+			// numbers under the search's one-trial journal identity.
+			fmt.Fprintf(os.Stderr, "-search runs one trial per candidate (drop -trials)\n")
+			return 2
+		}
+	} else if *sweep != "" {
 		if *exp != "all" {
 			fmt.Fprintf(os.Stderr, "-sweep and -exp are mutually exclusive\n")
 			return 2
@@ -226,7 +258,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "-resume and -trial-budget require -checkpoint-dir\n")
 		return 2
 	}
-	rn := runner.New(runner.Config{
+	cfg := runner.Config{
 		Parallel:         width,
 		Warm:             *warm && !*cold,
 		ArtifactDir:      *artifactDir,
@@ -236,7 +268,8 @@ func run() int {
 		TrialBudget:      *trialBudget,
 		Progress:         progress,
 		Verbose:          *verbose,
-	})
+	}
+	rn := runner.New(cfg)
 	job := runner.Job{Scale: scale, Seed: *seed, Trials: *trials}
 	// Both report kinds share the output and exit-status contract.
 	var rep interface {
@@ -247,7 +280,31 @@ func run() int {
 	var total int
 	unit := "experiment"
 	start := time.Now()
-	if *sweep != "" {
+	if *searchFlag {
+		budget := *searchBudget
+		if budget <= 0 {
+			budget = search.DefaultBudget
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "searching the defense frontier: budget %d candidate(s) on %d worker(s), %s scale, seed %d\n",
+				budget, width, scale, *seed)
+		}
+		r, err := search.Run(search.Options{
+			Scale:   scale,
+			Seed:    *seed,
+			Budget:  *searchBudget,
+			Epsilon: *searchEps,
+			Runner:  cfg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "search: %v\n", err)
+			if errors.Is(err, runner.ErrBudget) {
+				return 3
+			}
+			return 2
+		}
+		rep, total, unit = r, r.Evaluated, "candidate"
+	} else if *sweep != "" {
 		if progress != nil {
 			fmt.Fprintf(progress, "sweeping %s: %d cell(s) x %d trial(s) on %d worker(s), %s scale, seed %d\n",
 				sweepSel.ID, sweepSel.Grid.Size(), *trials, width, scale, *seed)

@@ -51,17 +51,41 @@ type Defense interface {
 	// performance cost (the Figs 14-16 axis). Defenses with no
 	// server-side cost (timer coarsening) return the vulnerable baseline
 	// scheme.
+	//
+	// Deprecated: the scheme menu cannot represent parameterized
+	// defenses (arbitrary randomization periods) or stacks with more
+	// than one costly layer. Use PerfEffects, which composes exactly;
+	// PerfScheme remains as the nearest-menu-point approximation.
 	PerfScheme() perfsim.Scheme
+	// PerfEffects returns the compositional performance model of the
+	// defense: the machine-configuration delta perfsim installs to
+	// measure its cost. Stacks compose their layers' effects, so
+	// interacting overheads are simulated together rather than reduced
+	// to a dominant layer.
+	PerfEffects() perfsim.Effects
+}
+
+// Validate reports whether the defense's parameters describe a machine
+// the simulator can build: search mutators and API clients construct
+// defenses from raw numbers, and a zero or negative period/way-count
+// must fail loudly here instead of silently building a nonsense
+// candidate. Parameter-free defenses are always valid.
+func Validate(d Defense) error {
+	if v, ok := d.(interface{ Validate() error }); ok {
+		return v.Validate()
+	}
+	return nil
 }
 
 // NoDefense is the vulnerable stock machine: DDIO on, stock IGB driver,
 // fine-grained timer.
 type NoDefense struct{}
 
-func (NoDefense) Name() string               { return "none" }
-func (NoDefense) Fingerprint() string        { return "none" }
-func (NoDefense) Apply(*testbed.Options)     {}
-func (NoDefense) PerfScheme() perfsim.Scheme { return perfsim.SchemeDDIO }
+func (NoDefense) Name() string                 { return "none" }
+func (NoDefense) Fingerprint() string          { return "none" }
+func (NoDefense) Apply(*testbed.Options)       {}
+func (NoDefense) PerfScheme() perfsim.Scheme   { return perfsim.SchemeDDIO }
+func (NoDefense) PerfEffects() perfsim.Effects { return perfsim.Effects{} }
 
 // DisableDDIO turns off Data Direct I/O: DMA writes go to memory instead
 // of allocating into the LLC. The paper shows the attack survives in a
@@ -69,9 +93,10 @@ func (NoDefense) PerfScheme() perfsim.Scheme { return perfsim.SchemeDDIO }
 // (Fig 15).
 type DisableDDIO struct{}
 
-func (DisableDDIO) Name() string               { return "no-ddio" }
-func (DisableDDIO) Fingerprint() string        { return "no-ddio" }
-func (DisableDDIO) PerfScheme() perfsim.Scheme { return perfsim.SchemeNoDDIO }
+func (DisableDDIO) Name() string                 { return "no-ddio" }
+func (DisableDDIO) Fingerprint() string          { return "no-ddio" }
+func (DisableDDIO) PerfScheme() perfsim.Scheme   { return perfsim.SchemeNoDDIO }
+func (DisableDDIO) PerfEffects() perfsim.Effects { return perfsim.Effects{DDIOOff: true} }
 
 func (DisableDDIO) Apply(o *testbed.Options) { o.Cache.DDIO = false }
 
@@ -83,6 +108,22 @@ type RingRandomization struct {
 	// Interval is the packet count between whole-ring re-randomizations;
 	// 0 selects full per-packet randomization.
 	Interval int
+}
+
+// NewRingRandomization builds a validated ring-randomization defense:
+// interval 0 is the full per-packet variant, positive intervals are
+// periodic, negative intervals are rejected.
+func NewRingRandomization(interval int) (RingRandomization, error) {
+	r := RingRandomization{Interval: interval}
+	return r, r.Validate()
+}
+
+// Validate rejects negative re-randomization intervals (0 means full).
+func (r RingRandomization) Validate() error {
+	if r.Interval < 0 {
+		return fmt.Errorf("defense: ring-randomization interval %d is negative", r.Interval)
+	}
+	return nil
 }
 
 func (r RingRandomization) Name() string {
@@ -118,6 +159,16 @@ func (r RingRandomization) PerfScheme() perfsim.Scheme {
 	}
 }
 
+// PerfEffects models the configured interval exactly: the amortized
+// per-packet cost is a function of the period, not the nearest of the
+// three menu points PerfScheme rounds to.
+func (r RingRandomization) PerfEffects() perfsim.Effects {
+	if r.Interval == 0 {
+		return perfsim.Effects{Randomize: nic.RandomizeFull}
+	}
+	return perfsim.Effects{Randomize: nic.RandomizePeriodic, RandomizeInterval: r.Interval}
+}
+
 // TimerCoarsening denies the attacker a fine-grained timer (§VI-a): every
 // latency reading gains one-sided jitter of the given magnitude. Unlike
 // the sweep axis of the same name, the coarse timer applies during the
@@ -129,10 +180,26 @@ type TimerCoarsening struct {
 	Jitter uint64
 }
 
-func (t TimerCoarsening) Name() string               { return fmt.Sprintf("timer-coarse-%d", t.Jitter) }
-func (t TimerCoarsening) Fingerprint() string        { return t.Name() }
-func (t TimerCoarsening) Apply(o *testbed.Options)   { o.TimerNoise = t.Jitter }
-func (t TimerCoarsening) PerfScheme() perfsim.Scheme { return perfsim.SchemeDDIO }
+// NewTimerCoarsening builds a validated timer-coarsening defense; a
+// zero jitter is rejected (it coarsens nothing — use NoDefense).
+func NewTimerCoarsening(jitter uint64) (TimerCoarsening, error) {
+	t := TimerCoarsening{Jitter: jitter}
+	return t, t.Validate()
+}
+
+// Validate rejects a zero coarsening granularity.
+func (t TimerCoarsening) Validate() error {
+	if t.Jitter == 0 {
+		return fmt.Errorf("defense: timer-coarsening jitter must be positive")
+	}
+	return nil
+}
+
+func (t TimerCoarsening) Name() string                 { return fmt.Sprintf("timer-coarse-%d", t.Jitter) }
+func (t TimerCoarsening) Fingerprint() string          { return t.Name() }
+func (t TimerCoarsening) Apply(o *testbed.Options)     { o.TimerNoise = t.Jitter }
+func (t TimerCoarsening) PerfScheme() perfsim.Scheme   { return perfsim.SchemeDDIO }
+func (t TimerCoarsening) PerfEffects() perfsim.Effects { return perfsim.Effects{} }
 
 // AdaptivePartitioning is the paper's §VII defense: I/O allocations are
 // confined to an adaptive per-set way quota and can never evict CPU
@@ -162,6 +229,38 @@ func (a AdaptivePartitioning) Apply(o *testbed.Options) {
 }
 
 func (AdaptivePartitioning) PerfScheme() perfsim.Scheme { return perfsim.SchemeAdaptive }
+
+func (a AdaptivePartitioning) PerfEffects() perfsim.Effects {
+	cfg := *a.config()
+	return perfsim.Effects{Partition: &cfg}
+}
+
+// NewAdaptivePartitioning builds a validated partitioning defense; nil
+// selects the §VII default parameters.
+func NewAdaptivePartitioning(cfg *cache.PartitionConfig) (AdaptivePartitioning, error) {
+	a := AdaptivePartitioning{Config: cfg}
+	return a, a.Validate()
+}
+
+// Validate rejects partition parameters no machine can run: a
+// non-positive adaptation period, inverted thresholds, or a way quota
+// that is zero, negative, or inverted. The upper way bound against the
+// concrete cache geometry is checked at build time (cache.Config
+// .Validate), since the defense does not know the machine's way count.
+func (a AdaptivePartitioning) Validate() error {
+	cfg := a.config()
+	switch {
+	case cfg.Period == 0:
+		return fmt.Errorf("defense: partition period must be positive")
+	case cfg.TLow > cfg.THigh:
+		return fmt.Errorf("defense: partition thresholds inverted (low %d > high %d)", cfg.TLow, cfg.THigh)
+	case cfg.MinIOWays < 1:
+		return fmt.Errorf("defense: partition min I/O ways %d must be at least 1", cfg.MinIOWays)
+	case cfg.MaxIOWays < cfg.MinIOWays:
+		return fmt.Errorf("defense: partition way quota inverted (min %d > max %d)", cfg.MinIOWays, cfg.MaxIOWays)
+	}
+	return nil
+}
 
 // Stack layers several defenses: Apply runs them in the given order.
 // Order is preserved for application and naming, but canonicalized in
@@ -244,9 +343,34 @@ func (s Stack) Apply(o *testbed.Options) {
 	}
 }
 
+// PerfEffects composes the layers' effects in application order, so the
+// cost model sees one machine with every mechanism installed — the
+// partition pressure AND the randomization allocations, not whichever
+// single layer ranks costlier.
+func (s Stack) PerfEffects() perfsim.Effects {
+	var e perfsim.Effects
+	for _, d := range s.Layers {
+		e = e.Compose(d.PerfEffects())
+	}
+	return e
+}
+
+// Validate checks every layer that carries parameters.
+func (s Stack) Validate() error {
+	for _, d := range s.Layers {
+		if err := Validate(d); err != nil {
+			return fmt.Errorf("layer %s: %w", d.Name(), err)
+		}
+	}
+	return nil
+}
+
 // PerfScheme returns the costliest component's scheme: perfsim models one
 // mitigation at a time, and a stack's dominant cost is the one worth
 // reporting on the overhead axis.
+//
+// Deprecated: the dominant-layer rule drops interacting overheads; use
+// PerfEffects, which composes every layer into one machine.
 func (s Stack) PerfScheme() perfsim.Scheme {
 	best := perfsim.SchemeDDIO
 	for _, d := range s.Layers {

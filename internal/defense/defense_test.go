@@ -218,3 +218,98 @@ func TestNamesAreSlugSafe(t *testing.T) {
 		}
 	}
 }
+
+// TestPerfEffects pins the compositional cost mapping, including the
+// exact-interval fix PerfScheme's bucketing loses and the stack rule
+// that every costly layer survives composition.
+func TestPerfEffects(t *testing.T) {
+	if e := (RingRandomization{Interval: 2_000}).PerfEffects(); e.OverheadPerPacket() != 256 {
+		t.Errorf("2k interval overhead = %d, want the exact 256, not a bucket", e.OverheadPerPacket())
+	}
+	for _, d := range All() {
+		// Registry defenses sit on menu points, where the exact model and
+		// the legacy scheme must agree on cost.
+		if got, want := d.PerfEffects().OverheadPerPacket(), perfsim.RandomizationOverhead(d.PerfScheme()); got != want {
+			t.Errorf("%s: effects overhead %d != scheme overhead %d", d.Name(), got, want)
+		}
+	}
+	s := NewStack(AdaptivePartitioning{}, RingRandomization{Interval: 1_000}, DisableDDIO{})
+	e := s.PerfEffects()
+	if e.Partition == nil || !e.DDIOOff || e.Randomize != nic.RandomizePeriodic || e.RandomizeInterval != 1_000 {
+		t.Errorf("stack effects dropped a layer: %+v", e)
+	}
+	// PerfScheme's dominant-layer rule keeps only one of those three.
+	if s.PerfScheme() != perfsim.SchemeNoDDIO {
+		t.Errorf("deprecated shim changed: PerfScheme = %v", s.PerfScheme())
+	}
+}
+
+// TestStackCostsComposeInPerfsim is the acceptance property: a
+// partition+randomization stack, run through the performance model via
+// its composed effects, costs strictly more than either layer alone.
+func TestStackCostsComposeInPerfsim(t *testing.T) {
+	cfg := perfsim.DefaultNginxConfig()
+	cfg.Requests = 3_000
+	cfg.TargetRate = 140_000
+	p99 := func(d Defense) float64 {
+		m, err := perfsim.RunNginxEffects(d.PerfEffects(), 20<<20, 7, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.LatencyPercentile(99)
+	}
+	part := p99(AdaptivePartitioning{})
+	rand := p99(RingRandomization{})
+	both := p99(NewStack(AdaptivePartitioning{}, RingRandomization{}))
+	if !(both > part && both > rand) {
+		t.Fatalf("stack p99 %.0f must exceed partition %.0f and randomization %.0f alone", both, part, rand)
+	}
+}
+
+// TestValidation: the construction-time parameter checks the search
+// mutator relies on — nonsense candidates must fail loudly.
+func TestValidation(t *testing.T) {
+	badPart := func(mut func(*cache.PartitionConfig)) *cache.PartitionConfig {
+		c := *cache.DefaultPartitionConfig()
+		mut(&c)
+		return &c
+	}
+	cases := []struct {
+		name string
+		d    Defense
+		ok   bool
+	}{
+		{"none", NoDefense{}, true},
+		{"no-ddio", DisableDDIO{}, true},
+		{"ring-full", RingRandomization{}, true},
+		{"ring-1k", RingRandomization{Interval: 1_000}, true},
+		{"ring-negative", RingRandomization{Interval: -5}, false},
+		{"timer-64", TimerCoarsening{Jitter: 64}, true},
+		{"timer-zero", TimerCoarsening{}, false},
+		{"partition-default", AdaptivePartitioning{}, true},
+		{"partition-zero-period", AdaptivePartitioning{Config: badPart(func(c *cache.PartitionConfig) { c.Period = 0 })}, false},
+		{"partition-zero-ways", AdaptivePartitioning{Config: badPart(func(c *cache.PartitionConfig) { c.MinIOWays = 0; c.MaxIOWays = 0 })}, false},
+		{"partition-inverted-ways", AdaptivePartitioning{Config: badPart(func(c *cache.PartitionConfig) { c.MinIOWays = 3; c.MaxIOWays = 1 })}, false},
+		{"partition-inverted-thresholds", AdaptivePartitioning{Config: badPart(func(c *cache.PartitionConfig) { c.TLow = 9_000 })}, false},
+		{"stack-valid", NewStack(AdaptivePartitioning{}, TimerCoarsening{Jitter: 64}), true},
+		{"stack-bad-layer", NewStack(AdaptivePartitioning{}, RingRandomization{Interval: -1}), false},
+	}
+	for _, c := range cases {
+		if err := Validate(c.d); (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%t", c.name, err, c.ok)
+		}
+	}
+	// Constructors surface the same checks.
+	if _, err := NewRingRandomization(-1); err == nil {
+		t.Error("NewRingRandomization(-1) must fail")
+	}
+	if _, err := NewTimerCoarsening(0); err == nil {
+		t.Error("NewTimerCoarsening(0) must fail")
+	}
+	if _, err := NewAdaptivePartitioning(badPart(func(c *cache.PartitionConfig) { c.MinIOWays = 0 })); err == nil {
+		t.Error("NewAdaptivePartitioning with zero ways must fail")
+	}
+	if d, err := NewRingRandomization(500); err != nil || d.Interval != 500 {
+		t.Errorf("NewRingRandomization(500) = %+v, %v", d, err)
+	}
+}

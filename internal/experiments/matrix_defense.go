@@ -3,15 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/covert"
 	"repro/internal/defense"
-	"repro/internal/fingerprint"
 	"repro/internal/perfsim"
 	"repro/internal/probe"
 	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/webtrace"
 )
 
 // matrix_defense is the headline attack × defense evaluation: every
@@ -97,85 +92,34 @@ func MeasureMatrixDefense(ctx MeasureCtx, art *Artifact) (Result, error) {
 	nginxCfg := perfsim.DefaultNginxConfig()
 	nginxCfg.Requests = nginxRequests
 	nginxCfg.TargetRate = 140_000
-	perfBy := map[perfsim.Scheme]matrixPerf{}
-	perfFor := func(s perfsim.Scheme) (matrixPerf, error) {
-		if p, ok := perfBy[s]; ok {
+	// The cost cache is keyed by the composed machine configuration, not
+	// the legacy scheme menu: two defenses share a perf run exactly when
+	// their Effects build interchangeable machines.
+	perfBy := map[string]matrixPerf{}
+	perfFor := func(e perfsim.Effects) (matrixPerf, error) {
+		key := e.Fingerprint()
+		if p, ok := perfBy[key]; ok {
 			return p, nil
 		}
-		m, err := perfsim.RunNginx(s, figLLC, ctx.Seed, nginxCfg)
+		m, err := perfsim.RunNginxEffects(e, figLLC, ctx.Seed, nginxCfg)
 		if err != nil {
 			return matrixPerf{}, err
 		}
 		p := matrixPerf{p99: m.LatencyPercentile(99), throughput: m.Throughput()}
-		perfBy[s] = p
+		perfBy[key] = p
 		return p, nil
 	}
-	base, err := perfFor(defense.NoDefense{}.PerfScheme())
+	base, err := perfFor(defense.NoDefense{}.PerfEffects())
 	if err != nil {
 		return Result{}, err
 	}
 
-	// leakageOf runs the three attack families against one prepared rig
-	// (each family on its own fresh clone). Each family carries its
-	// calibration-health signal so a blind attacker's numbers can never
+	// defenseLeakage (defense_eval.go) runs the three attack families
+	// against one prepared rig, each on its own fresh clone, carrying
+	// calibration-health signals so a blind attacker's numbers can never
 	// read as a defense outcome (see the *_calibration_ok metrics).
-	type leakage struct {
-		chaseAcc  float64
-		covertErr float64
-		fpAcc     float64
-		chaseCal  bool
-		covertCal bool
-		fpCal     bool
-	}
-	leakageOf := func(label string) (leakage, error) {
-		out := leakage{covertErr: 1, covertCal: true}
-
-		chaseRig, err := art.rig(label, ctx)
-		if err != nil {
-			return leakage{}, err
-		}
-		// Three ring revolutions, not one: ring randomization only moves a
-		// buffer after its first use, so a single pass is blind to §VI-b
-		// (see chaseFrames).
-		chase := chaseAccuracy(chaseRig, nil, chaseFrames(chaseRig))
-		out.chaseAcc, out.chaseCal = chase.acc, chase.calOK
-
-		// A ring with no isolated buffer means the channel cannot even be
-		// established — that counts as fully erased (error 1, with the
-		// health signal vacuously true: no receiver was ever built). An
-		// error from the channel run itself is infrastructure failure,
-		// not a defense outcome, and must fail the trial rather than
-		// masquerade as a perfect defense.
-		covertRig, err := art.rig(label, ctx)
-		if err != nil {
-			return leakage{}, err
-		}
-		ring := covertRig.groundTruthRing()
-		if gid, ok := covert.ChooseIsolatedBuffer(ring); ok {
-			symbols := stats.NewLFSR15(uint16(ctx.Seed%0x7fff)|1).Symbols(covertSymbols, covert.Ternary.Base())
-			r0, err := covert.RunSingleBuffer(covertRig.spy, covertRig.groups[gid],
-				symbols, covert.Ternary, len(ring), 16_500)
-			if err != nil {
-				return leakage{}, fmt.Errorf("matrix_defense: covert channel under %s: %w", label, err)
-			}
-			out.covertErr = r0.ErrorRate
-			if out.covertErr > 1 {
-				out.covertErr = 1
-			}
-			out.covertCal = r0.CalibrationOK
-		}
-
-		fpRig, err := art.rig(label, ctx)
-		if err != nil {
-			return leakage{}, err
-		}
-		atk := &fingerprint.Attack{
-			Spy: fpRig.spy, Groups: fpRig.groups, Ring: fpRig.groundTruthRing(), TraceLen: 100,
-		}
-		ev := fingerprint.EvaluateClosedWorld(atk, webtrace.ClosedWorld(), webtrace.DefaultNoise(),
-			fpTrials, sim.Derive(ctx.Seed, "matrix/"+label))
-		out.fpAcc, out.fpCal = ev.Accuracy(), atk.CalibrationOK()
-		return out, nil
+	leakageOf := func(label string) (attackLeakage, error) {
+		return defenseLeakage(ctx, art, label, covertSymbols, fpTrials)
 	}
 
 	res := Result{
@@ -218,16 +162,7 @@ func MeasureMatrixDefense(ctx MeasureCtx, art *Artifact) (Result, error) {
 			// calibrated amplified chaser truly measures ~0 — the cell
 			// must report the real leakage, not the noise). Raw numbers
 			// compare only between equally calibrated measurements.
-			lk = fine
-			if pickHigher(amp.chaseAcc, amp.chaseCal, lk.chaseAcc, lk.chaseCal) {
-				lk.chaseAcc, lk.chaseCal = amp.chaseAcc, amp.chaseCal
-			}
-			if pickHigher(-amp.covertErr, amp.covertCal, -lk.covertErr, lk.covertCal) {
-				lk.covertErr, lk.covertCal = amp.covertErr, amp.covertCal
-			}
-			if pickHigher(amp.fpAcc, amp.fpCal, lk.fpAcc, lk.fpCal) {
-				lk.fpAcc, lk.fpCal = amp.fpAcc, amp.fpCal
-			}
+			lk = strongestAttack(fine, amp)
 			attacker = "strongest(fine,amplified)"
 			res.AddMetric(key+"_fine_timer_chase_accuracy", "fraction", fine.chaseAcc)
 			res.AddMetric(key+"_fine_timer_chase_calibration_ok", "bool", boolMetric(fine.chaseCal))
@@ -243,13 +178,22 @@ func MeasureMatrixDefense(ctx MeasureCtx, art *Artifact) (Result, error) {
 			res.AddMetric(key+"_amplified_fingerprint_calibration_ok", "bool", boolMetric(amp.fpCal))
 		}
 
-		// Overhead axis.
-		perf, err := perfFor(d.PerfScheme())
+		// Overhead axis: the composed machine, every mechanism installed.
+		perf, err := perfFor(d.PerfEffects())
 		if err != nil {
 			return Result{}, err
 		}
 		p99Delta := (perf.p99 - base.p99) / base.p99
 		tputLoss := (base.throughput - perf.throughput) / base.throughput
+		// The deprecated dominant-layer pricing rides along as *_dominant_*
+		// metrics for one release, so downstream consumers can diff the
+		// two models while migrating.
+		domPerf, err := perfFor(perfsim.EffectsForScheme(d.PerfScheme()))
+		if err != nil {
+			return Result{}, err
+		}
+		domP99Delta := (domPerf.p99 - base.p99) / base.p99
+		domTputLoss := (base.throughput - domPerf.throughput) / base.throughput
 
 		res.Rows = append(res.Rows, []string{
 			name, attacker, pct(lk.chaseAcc), pct(lk.covertErr), pct(lk.fpAcc),
@@ -263,13 +207,15 @@ func MeasureMatrixDefense(ctx MeasureCtx, art *Artifact) (Result, error) {
 		res.AddMetric(key+"_fingerprint_calibration_ok", "bool", boolMetric(lk.fpCal))
 		res.AddMetric(key+"_p99_delta", "fraction", p99Delta)
 		res.AddMetric(key+"_throughput_loss", "fraction", tputLoss)
+		res.AddMetric(key+"_dominant_p99_delta", "fraction", domP99Delta)
+		res.AddMetric(key+"_dominant_throughput_loss", "fraction", domTputLoss)
 	}
 	res.AddMetric("defenses", "count", float64(len(defense.All())))
 	res.Notes = append(res.Notes,
 		"leakage: chase accuracy and fingerprint accuracy fall (and covert error rises) as a defense bites;",
 		"*_calibration_ok distinguishes 'the defense erased the signal' from 'the attacker went blind': a 0 means that family's number is the output of monitors that reported themselves unable to separate timer jitter from activity;",
 		"each cell reports the strongest known attack: timer-coarsening cells are re-derived with the amplified repeated-measurement attacker (probe.AmplifiedStrategy), with both attackers' raw numbers kept as *_fine_timer_* / *_amplified_* metrics; selection prefers calibrated measurements, so a blind attacker's chance-level noise never outranks a calibrated attacker's true number;",
-		"overhead: perfsim Nginx p99/throughput deltas vs the vulnerable baseline (timer coarsening is client-side: zero server cost)",
+		"overhead: perfsim Nginx p99/throughput deltas vs the vulnerable baseline, priced on the composed machine (every stack layer's mechanism installed at once); *_dominant_* metrics keep the deprecated dominant-layer pricing for one release (timer coarsening is client-side: zero server cost)",
 		"paper shape: adaptive partitioning erases the channel for a few percent overhead; disabling DDIO degrades but does not stop the attack; full ring randomization pays ~40% p99; timer coarsening alone does NOT stop the amplified attacker")
 	return res, nil
 }

@@ -13,8 +13,6 @@
 package perfsim
 
 import (
-	"fmt"
-
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/nic"
@@ -69,6 +67,11 @@ const (
 
 // RandomizationOverhead returns the amortized per-packet driver overhead
 // of a scheme, in cycles.
+//
+// Deprecated: the scheme menu only models three fixed intervals. New code
+// should build an Effects value, whose OverheadPerPacket is an exact
+// function of the configured period; this function remains as the legacy
+// mapping (and equals EffectsForScheme(s).OverheadPerPacket()).
 func RandomizationOverhead(s Scheme) uint64 {
 	switch s {
 	case SchemeFullRandom:
@@ -82,59 +85,38 @@ func RandomizationOverhead(s Scheme) uint64 {
 	}
 }
 
-// Env is one simulated machine instance configured for a scheme.
+// Env is one simulated machine instance configured for a defense — a
+// legacy scheme (NewEnv) or a composed Effects value (NewEnvEffects).
 type Env struct {
+	// Scheme is the legacy menu entry the env was built from; the zero
+	// value (SchemeDDIO) for effects-built environments.
 	Scheme Scheme
-	Clock  *sim.Clock
-	Cache  *cache.Cache
-	Alloc  *mem.Allocator
-	NIC    *nic.NIC
-	RNG    *sim.RNG
+	// Effects is the compositional configuration the machine was built
+	// with; NewEnv fills it via EffectsForScheme.
+	Effects Effects
+	Clock   *sim.Clock
+	Cache   *cache.Cache
+	Alloc   *mem.Allocator
+	NIC     *nic.NIC
+	RNG     *sim.RNG
+
+	// overhead is the amortized per-packet driver cost the workloads
+	// charge, resolved once at construction from Effects.
+	overhead uint64
 }
 
 // NewEnv builds a machine with the given LLC size (bytes) under a scheme.
 // LLC sizes map to way counts at fixed 8x2048 sets x 64 B geometry, the
 // way Fig 14 shrinks the cache (20 MB -> 20 ways, 11 MB -> 11, 8 MB -> 8).
+// It is the legacy five-point menu over NewEnvEffects: the two paths
+// build identical machines for the schemes the menu covers.
 func NewEnv(scheme Scheme, llcBytes int, seed int64) (*Env, error) {
-	ways := llcBytes / (8 * 2048 * 64)
-	if ways < 4 {
-		return nil, fmt.Errorf("perfsim: LLC %d too small", llcBytes)
-	}
-	ccfg := cache.PaperConfig()
-	ccfg.Ways = ways
-	switch scheme {
-	case SchemeNoDDIO:
-		ccfg.DDIO = false
-	case SchemeAdaptive:
-		ccfg.Partition = cache.DefaultPartitionConfig()
-	}
-	clock := sim.NewClock()
-	c := cache.New(ccfg, clock)
-	alloc := mem.NewAllocator(1<<30, sim.Derive(seed, "perf-alloc"))
-	ncfg := nic.DefaultConfig()
-	ncfg.RingSize = ringSize
-	switch scheme {
-	case SchemeFullRandom:
-		ncfg.Randomize = nic.RandomizeFull
-	case SchemePartial1k:
-		ncfg.Randomize = nic.RandomizePeriodic
-		ncfg.RandomizeInterval = 1_000
-	case SchemePartial10k:
-		ncfg.Randomize = nic.RandomizePeriodic
-		ncfg.RandomizeInterval = 10_000
-	}
-	n, err := nic.New(ncfg, c, alloc, clock, sim.Derive(seed, "perf-nic"))
+	env, err := NewEnvEffects(EffectsForScheme(scheme), llcBytes, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Env{
-		Scheme: scheme,
-		Clock:  clock,
-		Cache:  c,
-		Alloc:  alloc,
-		NIC:    n,
-		RNG:    sim.Derive(seed, "perf-wl"),
-	}, nil
+	env.Scheme = scheme
+	return env, nil
 }
 
 // RunNginx builds an environment for the scheme and runs the Nginx

@@ -61,7 +61,7 @@ func TCPRecv(env *Env, packets int) Metrics {
 		f.Known = true
 		env.NIC.Receive(f)
 		env.NIC.ProcessDriver(env.Clock.Now() + env.NIC.Config().DriverLatency)
-		env.Clock.Advance(RandomizationOverhead(env.Scheme))
+		env.Clock.Advance(env.overhead)
 		// Application recv(): copy the payload out of the skb.
 		app := uint64(appPages[int(count)%len(appPages)]) + uint64(count%64)*64
 		_, lat := env.Cache.Read(app)
@@ -159,7 +159,7 @@ func Nginx(env *Env, cfg NginxConfig) Metrics {
 			_, lat := env.Cache.Read(uint64(p) + uint64(i%64)*64)
 			stall += lat
 		}
-		service := cfg.ComputeCycles + stall + RandomizationOverhead(env.Scheme)
+		service := cfg.ComputeCycles + stall + env.overhead
 		env.Clock.Advance(service / 4) // workers overlap; wall clock moves slower
 
 		// Queueing: earliest-free worker takes the request.

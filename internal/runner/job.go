@@ -323,6 +323,19 @@ func (r *Runner) execute(ident checkpointIdentity, units []execUnit, trials int)
 // experiment failures are recorded per experiment in the Report so one
 // broken artifact does not discard the rest of a run.
 func (r *Runner) Run(selected []experiments.Experiment, job Job) (*Report, error) {
+	return r.RunNamed("experiments", "", selected, job)
+}
+
+// RunNamed is Run under a caller-chosen journal identity: kind (and an
+// optional id distinguishing runs of the same kind) name the checkpoint
+// journal instead of the default "experiments" identity. Drivers that
+// issue several Run calls against one logical journal — the frontier
+// search submits one batch per generation — use a stable (kind, id) and
+// Resume=true on every call after the first, so an interrupted run
+// replays every completed unit regardless of which batch it arrived in.
+// Unit outcomes must be batch-independent for this to be sound, exactly
+// as experiment outcomes are selection-independent under Run.
+func (r *Runner) RunNamed(kind, id string, selected []experiments.Experiment, job Job) (*Report, error) {
 	if len(selected) == 0 {
 		return nil, fmt.Errorf("runner: no experiments selected")
 	}
@@ -349,7 +362,8 @@ func (r *Runner) Run(selected []experiments.Experiment, job Job) (*Report, error
 	// identity deliberately omits the selection: a full-registry journal
 	// resumes a single-experiment run and vice versa.
 	ident := checkpointIdentity{
-		Kind:   "experiments",
+		Kind:   kind,
+		ID:     id,
 		Scale:  job.Scale.String(),
 		Seed:   job.Seed,
 		Trials: job.Trials,

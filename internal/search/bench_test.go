@@ -1,0 +1,40 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// The search driver's acceptance benchmark pair: the same small search
+// run on pooled warm rig leases (the default production path) versus
+// with both reuse layers disabled (every candidate builds its machines
+// from scratch). CI gates pooled-warm wall-clock at under 2× the
+// cold-clone run — the bound the ≥200-candidate default budget relies
+// on — and the committed BENCH_runner.json baseline tracks both.
+func benchSearch(b *testing.B, cfg runner.Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Options{
+			Scale:  experiments.Demo,
+			Seed:   1,
+			Budget: 8,
+			Runner: cfg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Evaluated != 8 || rep.Failed() > 0 {
+			b.Fatalf("evaluated=%d failed=%d", rep.Evaluated, rep.Failed())
+		}
+	}
+}
+
+func BenchmarkSearchPooledWarm(b *testing.B) {
+	benchSearch(b, runner.Config{Parallel: 4, Warm: true})
+}
+
+func BenchmarkSearchColdClone(b *testing.B) {
+	benchSearch(b, runner.Config{Parallel: 4, NoRigReuse: true})
+}

@@ -1,0 +1,98 @@
+package search
+
+import "sort"
+
+// Point is one evaluated candidate in (leakage, overhead) space. Both
+// axes minimize: leakage is the strongest calibrated attack's success
+// probability, overhead is the perfsim p99 latency delta versus the
+// undefended baseline.
+type Point struct {
+	ID       string
+	Leakage  float64
+	Overhead float64
+}
+
+// Dominates reports strict Pareto dominance: p is no worse on both axes
+// and strictly better on at least one.
+func Dominates(p, q Point) bool { return DominatesEps(p, q, 0) }
+
+// DominatesEps is dominance with a resolution slack eps on the overhead
+// axis: p ε-dominates q when p leaks no more, p's overhead is within
+// eps of q's, and p is strictly better on leakage or strictly cheaper
+// by more than eps. The slack exists because the overhead axis is a
+// simulated measurement with finite resolution — a defense that erases
+// the channel for a sub-resolution cost difference should beat a leaky
+// free one, which strict dominance (eps=0) can never conclude.
+func DominatesEps(p, q Point, eps float64) bool {
+	return p.Leakage <= q.Leakage && p.Overhead <= q.Overhead+eps &&
+		(p.Leakage < q.Leakage || p.Overhead < q.Overhead-eps)
+}
+
+// Frontier returns the points not ε-dominated by any other point,
+// sorted by overhead then leakage then ID. Exact duplicates never
+// dominate each other, so both survive.
+func Frontier(points []Point, eps float64) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && DominatesEps(q, p, eps) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Overhead != front[j].Overhead {
+			return front[i].Overhead < front[j].Overhead
+		}
+		if front[i].Leakage != front[j].Leakage {
+			return front[i].Leakage < front[j].Leakage
+		}
+		return front[i].ID < front[j].ID
+	})
+	return front
+}
+
+// Hypervolume returns the area of objective space dominated by the
+// point set within the rectangle bounded by the reference point
+// (refLeakage, refOverhead) — the standard 2-objective quality
+// indicator, larger is better. Points at or beyond the reference
+// contribute nothing.
+func Hypervolume(points []Point, refLeakage, refOverhead float64) float64 {
+	var in []Point
+	for _, p := range points {
+		if p.Leakage < refLeakage && p.Overhead < refOverhead {
+			in = append(in, p)
+		}
+	}
+	if len(in) == 0 {
+		return 0
+	}
+	// Keep the non-dominated subset: sorted by leakage ascending, its
+	// overheads are strictly descending, and the dominated region is a
+	// staircase of disjoint strips.
+	in = Frontier(in, 0)
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].Leakage != in[j].Leakage {
+			return in[i].Leakage < in[j].Leakage
+		}
+		return in[i].Overhead < in[j].Overhead
+	})
+	var hv float64
+	for i, p := range in {
+		right := refLeakage
+		// Skip duplicates of the same leakage (equal leakage, higher
+		// overhead adds no area past the first).
+		if i+1 < len(in) {
+			right = in[i+1].Leakage
+		}
+		if right > p.Leakage {
+			hv += (right - p.Leakage) * (refOverhead - p.Overhead)
+		}
+	}
+	return hv
+}

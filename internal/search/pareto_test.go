@@ -1,0 +1,122 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			ID:       fmt.Sprintf("pt%d", i),
+			Leakage:  float64(rng.Intn(100)) / 100,
+			Overhead: float64(rng.Intn(100)) / 100,
+		}
+	}
+	return pts
+}
+
+// TestDominance pins the ε-dominance relation.
+func TestDominance(t *testing.T) {
+	a := Point{ID: "a", Leakage: 0.2, Overhead: 0.1}
+	b := Point{ID: "b", Leakage: 0.5, Overhead: 0.1}
+	c := Point{ID: "c", Leakage: 0.2, Overhead: 0.1}
+	free := Point{ID: "free", Leakage: 0.9, Overhead: 0}
+	if !Dominates(a, b) || Dominates(b, a) {
+		t.Error("a must strictly dominate b (equal overhead, less leakage)")
+	}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Error("duplicates must not dominate each other")
+	}
+	// Strict dominance can never conclude against a zero-overhead point;
+	// ε-dominance within resolution can.
+	if Dominates(a, free) {
+		t.Error("a must not strictly dominate the cheaper point")
+	}
+	if !DominatesEps(a, free, 0.2) {
+		t.Error("a must ε-dominate the leaky free point within slack")
+	}
+	if DominatesEps(free, a, 0.2) {
+		t.Error("ε-dominance must stay antisymmetric for ε < leakage gap")
+	}
+	// Two points within ε on overhead and equal leakage: a tie, no
+	// dominance either way.
+	d := Point{ID: "d", Leakage: 0.2, Overhead: 0.102}
+	if DominatesEps(a, d, 0.005) || DominatesEps(d, a, 0.005) {
+		t.Error("sub-ε overhead difference with equal leakage must be a tie")
+	}
+}
+
+// TestFrontierProperties: frontier ⊆ candidates, and no frontier point
+// is dominated by any candidate — over many random point sets.
+func TestFrontierProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(40))
+		for _, eps := range []float64{0, 0.005, 0.1} {
+			front := Frontier(pts, eps)
+			if len(front) == 0 {
+				t.Fatalf("trial %d eps %g: frontier empty for non-empty set", trial, eps)
+			}
+			byID := map[string]Point{}
+			for _, p := range pts {
+				byID[p.ID] = p
+			}
+			for _, f := range front {
+				if got, ok := byID[f.ID]; !ok || got != f {
+					t.Fatalf("trial %d: frontier point %+v not among candidates", trial, f)
+				}
+				for _, q := range pts {
+					if q.ID != f.ID && DominatesEps(q, f, eps) {
+						t.Fatalf("trial %d eps %g: frontier point %+v dominated by %+v", trial, eps, f, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHypervolumeMonotone: adding a point that dominates an existing
+// one strictly increases the indicator; adding a dominated point never
+// changes it.
+func TestHypervolumeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(20))
+		hv := Hypervolume(pts, 1, 1)
+		if hv < 0 || hv > 1 {
+			t.Fatalf("trial %d: hypervolume %g outside [0,1] for unit ref", trial, hv)
+		}
+		// Dominate a random frontier point: the new point then cannot be
+		// dominated itself (that would transitively dominate the frontier
+		// member), so the indicator must strictly grow.
+		front := Frontier(pts, 0)
+		target := front[rng.Intn(len(front))]
+		dom := Point{ID: "dom", Leakage: target.Leakage * 0.5, Overhead: target.Overhead * 0.5}
+		if dom.Leakage == target.Leakage && dom.Overhead == target.Overhead {
+			continue // target was (0,0): nothing can dominate it
+		}
+		if got := Hypervolume(append(append([]Point{}, pts...), dom), 1, 1); got <= hv {
+			t.Fatalf("trial %d: adding dominating point did not grow hypervolume (%g -> %g)", trial, hv, got)
+		}
+		// A point dominated by an existing one adds nothing.
+		dup := Point{ID: "dup", Leakage: target.Leakage, Overhead: target.Overhead}
+		if got := Hypervolume(append(append([]Point{}, pts...), dup), 1, 1); got != hv {
+			t.Fatalf("trial %d: duplicate point changed hypervolume (%g -> %g)", trial, hv, got)
+		}
+	}
+	// Known area: single point at (0.5, 0.5) under ref (1,1).
+	if hv := Hypervolume([]Point{{ID: "x", Leakage: 0.5, Overhead: 0.5}}, 1, 1); hv != 0.25 {
+		t.Errorf("single-point hypervolume = %g, want 0.25", hv)
+	}
+	// Staircase: (0.2,0.6) and (0.6,0.2): 0.4*0.4 + 0.4*0.8 = 0.48.
+	stair := []Point{{ID: "a", Leakage: 0.2, Overhead: 0.6}, {ID: "b", Leakage: 0.6, Overhead: 0.2}}
+	if hv := Hypervolume(stair, 1, 1); hv < 0.48-1e-12 || hv > 0.48+1e-12 {
+		t.Errorf("staircase hypervolume = %g, want 0.48", hv)
+	}
+	if hv := Hypervolume(nil, 1, 1); hv != 0 {
+		t.Errorf("empty hypervolume = %g, want 0", hv)
+	}
+}

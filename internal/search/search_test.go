@@ -1,0 +1,126 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+func reportBytes(t *testing.T, opts Options) []byte {
+	t.Helper()
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSearchDeterministicAcrossParallel: the full frontier report is
+// byte-identical whatever the worker-pool width — the seeded-search
+// determinism contract the checkpoint journal and CI smoke both lean
+// on.
+func TestSearchDeterministicAcrossParallel(t *testing.T) {
+	base := Options{
+		Scale:  experiments.Demo,
+		Seed:   1,
+		Budget: 10,
+	}
+	narrow, wide := base, base
+	narrow.Runner = runner.Config{Parallel: 1, Warm: true}
+	wide.Runner = runner.Config{Parallel: 8, Warm: true}
+	a := reportBytes(t, narrow)
+	b := reportBytes(t, wide)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report bytes differ across -parallel widths:\n--- parallel=1\n%s\n--- parallel=8\n%s", a, b)
+	}
+	// Cold and pooled-warm runs agree too: pooling is a wall-clock
+	// optimization, never a result change.
+	cold := base
+	cold.Runner = runner.Config{Parallel: 4, NoRigReuse: true}
+	if c := reportBytes(t, cold); !bytes.Equal(a, c) {
+		t.Fatalf("report bytes differ between warm and cold runs")
+	}
+}
+
+// TestSearchResume: an interrupted search (trial budget spends out
+// mid-grid) resumes from its journal to the exact bytes of an
+// uninterrupted run.
+func TestSearchResume(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Scale:  experiments.Demo,
+		Seed:   1,
+		Budget: 8,
+		Runner: runner.Config{Parallel: 2, Warm: true},
+	}
+	want := reportBytes(t, opts)
+
+	interrupted := opts
+	interrupted.Runner.CheckpointDir = dir
+	interrupted.Runner.TrialBudget = 3
+	if _, err := Run(interrupted); err == nil {
+		t.Fatal("budgeted run should have stopped with ErrBudget")
+	}
+	resumed := opts
+	resumed.Runner.CheckpointDir = dir
+	resumed.Runner.Resume = true
+	if got := reportBytes(t, resumed); !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n%s\n---\n%s", got, want)
+	}
+}
+
+// TestSearchAnchors is the acceptance anchor at a small budget: the
+// frontier carries an adaptive-partitioning candidate, and that
+// candidate ε-dominates bare timer-coarse-64 (whose strongest attacker
+// — the amplified coarse-timer attack — still reads the ring, at zero
+// server cost but near-total leakage).
+func TestSearchAnchors(t *testing.T) {
+	rep, err := Run(Options{
+		Scale:  experiments.Demo,
+		Seed:   1,
+		Budget: 8,
+		Runner: runner.Config{Parallel: 4, Warm: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaVersion {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	var partition *Candidate
+	for i, c := range rep.Frontier {
+		if c.Params.PartitionWays > 0 {
+			partition = &rep.Frontier[i]
+			break
+		}
+	}
+	if partition == nil {
+		t.Fatalf("no adaptive-partitioning candidate on the frontier: %+v", rep.Frontier)
+	}
+	var timer64 *Candidate
+	for i, c := range rep.Candidates {
+		if c.ID == "p0-roff-t64" {
+			timer64 = &rep.Candidates[i]
+		}
+	}
+	if timer64 == nil || !timer64.OK {
+		t.Fatalf("bare timer-coarse-64 anchor missing or failed: %+v", timer64)
+	}
+	if timer64.OnFrontier {
+		t.Fatal("bare timer-coarse-64 must not be on the frontier")
+	}
+	p := Point{ID: partition.ID, Leakage: partition.Leakage, Overhead: partition.Overhead}
+	q := Point{ID: timer64.ID, Leakage: timer64.Leakage, Overhead: timer64.Overhead}
+	if !DominatesEps(p, q, rep.Epsilon) {
+		t.Fatalf("partition candidate %+v must ε-dominate bare timer-coarse-64 %+v", p, q)
+	}
+	if rep.Hypervolume <= 0 {
+		t.Fatalf("hypervolume %g", rep.Hypervolume)
+	}
+}

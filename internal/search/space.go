@@ -1,0 +1,224 @@
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/defense"
+)
+
+// Params is one point in the typed defense design space the search
+// explores: the three parameterizable mechanisms the paper's §VI-§VII
+// menu samples, each with its knob exposed, composable into a stack.
+// The zero value is the undefended baseline.
+type Params struct {
+	// PartitionWays is the adaptive partition's MaxIOWays quota
+	// (MinIOWays stays 1, the other §VII parameters stay at their
+	// defaults); 0 disables partitioning.
+	PartitionWays int `json:"partition_ways"`
+	// RandomizePeriod selects ring randomization: 0 off, -1 the full
+	// per-packet variant, positive a periodic re-randomization interval
+	// in packets.
+	RandomizePeriod int `json:"randomize_period"`
+	// TimerJitter is the timer-coarsening magnitude in cycles; 0 off.
+	TimerJitter uint64 `json:"timer_jitter"`
+}
+
+// ID canonically names the candidate; it doubles as the experiment ID
+// (and therefore the trial-seed derivation label and journal unit key),
+// so equal params always replay from a resumed journal.
+func (p Params) ID() string {
+	r := "roff"
+	switch {
+	case p.RandomizePeriod < 0:
+		r = "rfull"
+	case p.RandomizePeriod > 0:
+		r = fmt.Sprintf("r%d", p.RandomizePeriod)
+	}
+	return fmt.Sprintf("p%d-%s-t%d", p.PartitionWays, r, p.TimerJitter)
+}
+
+// Defense builds the candidate's validated defense value: layers in
+// canonical partition→randomization→timer order (they commute — see
+// defense.Stack), a bare defense for single mechanisms, NoDefense for
+// the baseline.
+func (p Params) Defense() (defense.Defense, error) {
+	var layers []defense.Defense
+	if p.PartitionWays > 0 {
+		cfg := *cache.DefaultPartitionConfig()
+		cfg.MinIOWays = 1
+		cfg.MaxIOWays = p.PartitionWays
+		d, err := defense.NewAdaptivePartitioning(&cfg)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %s: %w", p.ID(), err)
+		}
+		layers = append(layers, d)
+	} else if p.PartitionWays < 0 {
+		return nil, fmt.Errorf("candidate %s: negative partition ways", p.ID())
+	}
+	if p.RandomizePeriod != 0 {
+		interval := p.RandomizePeriod
+		if interval < 0 {
+			interval = 0 // the defense encodes "full" as interval 0
+		}
+		d, err := defense.NewRingRandomization(interval)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %s: %w", p.ID(), err)
+		}
+		layers = append(layers, d)
+	}
+	if p.TimerJitter > 0 {
+		d, err := defense.NewTimerCoarsening(p.TimerJitter)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %s: %w", p.ID(), err)
+		}
+		layers = append(layers, d)
+	}
+	switch len(layers) {
+	case 0:
+		return defense.NoDefense{}, nil
+	case 1:
+		return layers[0], nil
+	default:
+		return defense.NewStack(layers...), nil
+	}
+}
+
+// The coarse-phase grid axes. Way counts stay within the §VII quota
+// range; periods bracket the paper's 1k/10k points plus the full
+// variant; jitter stays at or below DefaultTimerJitter's magnitude
+// (past ~100 cycles demo-scale offline preparation stops building — a
+// grid full of unbuildable candidates measures nothing).
+var (
+	gridWays    = []int{0, 1, 2, 3}
+	gridPeriods = []int{0, -1, 500, 1_000, 2_000, 5_000, 10_000}
+	gridJitters = []uint64{0, 16, 32, 64}
+)
+
+// Anchors are the candidates every search evaluates first, whatever the
+// budget: the undefended baseline, the paper's §VII partition, bare
+// timer coarsening, and the partition+timer stack — the points the
+// matrix experiment pins and the frontier's acceptance anchors compare.
+func Anchors() []Params {
+	return []Params{
+		{},
+		{PartitionWays: 3},
+		{TimerJitter: 64},
+		{PartitionWays: 3, TimerJitter: 64},
+	}
+}
+
+// Grid enumerates the coarse phase in deterministic axis-major order,
+// anchors first.
+func Grid() []Params {
+	out := Anchors()
+	seen := map[string]bool{}
+	for _, a := range out {
+		seen[a.ID()] = true
+	}
+	for _, w := range gridWays {
+		for _, r := range gridPeriods {
+			for _, j := range gridJitters {
+				p := Params{PartitionWays: w, RandomizePeriod: r, TimerJitter: j}
+				if !seen[p.ID()] {
+					seen[p.ID()] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Neighbors returns the refinement moves from p in deterministic order:
+// one step along each axis ladder in each direction. The hill-climb
+// phase mutates frontier members with these moves, so every candidate
+// the mutator can emit is valid by construction (axis ladders contain
+// only validated values).
+func (p Params) Neighbors() []Params {
+	var out []Params
+	step := func(q Params) {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	if i := indexOfInt(gridWays, p.PartitionWays); i >= 0 {
+		if i > 0 {
+			q := p
+			q.PartitionWays = gridWays[i-1]
+			step(q)
+		}
+		if i+1 < len(gridWays) {
+			q := p
+			q.PartitionWays = gridWays[i+1]
+			step(q)
+		}
+	}
+	// Period moves halve/double within bounds, reaching off-grid
+	// intervals the coarse phase never visits (250, 4_000, 20_000, ...).
+	// Shorter periods cost more and leak less: halving from the
+	// shortest interval escalates to the full variant, doubling past
+	// the longest de-escalates to off.
+	switch {
+	case p.RandomizePeriod > 0:
+		q := p
+		if half := p.RandomizePeriod / 2; half >= 125 {
+			q.RandomizePeriod = half
+		} else {
+			q.RandomizePeriod = -1
+		}
+		step(q)
+		q = p
+		if dbl := p.RandomizePeriod * 2; dbl <= 40_000 {
+			q.RandomizePeriod = dbl
+		} else {
+			q.RandomizePeriod = 0
+		}
+		step(q)
+	case p.RandomizePeriod < 0:
+		q := p
+		q.RandomizePeriod = 500
+		step(q)
+	default:
+		q := p
+		q.RandomizePeriod = 10_000
+		step(q)
+	}
+	if i := indexOfUint64(gridJitters, p.TimerJitter); i >= 0 {
+		if i > 0 {
+			q := p
+			q.TimerJitter = gridJitters[i-1]
+			step(q)
+		}
+		if i+1 < len(gridJitters) {
+			q := p
+			q.TimerJitter = gridJitters[i+1]
+			step(q)
+		}
+	} else {
+		// Off-ladder jitter (never produced by the mutator, but Params
+		// is an exported type): step back onto the ladder.
+		q := p
+		q.TimerJitter = gridJitters[len(gridJitters)-1]
+		step(q)
+	}
+	return out
+}
+
+func indexOfInt(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexOfUint64(xs []uint64, v uint64) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,92 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/defense"
+)
+
+// TestGridShape: anchors lead, IDs are unique, and every grid member
+// builds a valid defense.
+func TestGridShape(t *testing.T) {
+	grid := Grid()
+	if len(grid) < 100 {
+		t.Fatalf("coarse grid has %d members, expected the full axis product", len(grid))
+	}
+	anchors := Anchors()
+	for i, a := range anchors {
+		if grid[i] != a {
+			t.Fatalf("grid[%d] = %+v, want anchor %+v", i, grid[i], a)
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range grid {
+		id := p.ID()
+		if seen[id] {
+			t.Fatalf("duplicate grid candidate %s", id)
+		}
+		seen[id] = true
+		d, err := p.Defense()
+		if err != nil {
+			t.Fatalf("%s: Defense() = %v", id, err)
+		}
+		if err := defense.Validate(d); err != nil {
+			t.Fatalf("%s: built an invalid defense: %v", id, err)
+		}
+	}
+	if d, _ := (Params{}).Defense(); d.Name() != "none" {
+		t.Errorf("zero params built %q, want the undefended baseline", d.Name())
+	}
+	if d, _ := (Params{PartitionWays: 3}).Defense(); d.Name() != "adaptive-partition" {
+		t.Errorf("partition-only params built %q", d.Name())
+	}
+	if d, _ := (Params{RandomizePeriod: -1}).Defense(); d.Name() != "ring-full-random" {
+		t.Errorf("full-randomization params built %q", d.Name())
+	}
+	if d, _ := (Params{PartitionWays: 2, RandomizePeriod: 1_000, TimerJitter: 32}).Defense(); d.Name() != "adaptive-partition+ring-partial-1k+timer-coarse-32" {
+		t.Errorf("stack params built %q", d.Name())
+	}
+}
+
+// TestNeighborsValid: every move the mutator can make, from every grid
+// point and one level deeper, builds a validated defense with a unique
+// ID different from its parent — the mutator cannot emit nonsense.
+func TestNeighborsValid(t *testing.T) {
+	frontier := Grid()
+	for depth := 0; depth < 2; depth++ {
+		var next []Params
+		for _, p := range frontier {
+			for _, q := range p.Neighbors() {
+				if q.ID() == p.ID() {
+					t.Fatalf("%s: neighbor with identical ID", p.ID())
+				}
+				d, err := q.Defense()
+				if err != nil {
+					t.Fatalf("%s -> %s: %v", p.ID(), q.ID(), err)
+				}
+				if err := defense.Validate(d); err != nil {
+					t.Fatalf("%s -> %s: invalid defense: %v", p.ID(), q.ID(), err)
+				}
+				next = append(next, q)
+			}
+		}
+		frontier = next
+	}
+}
+
+// TestIDStability pins the candidate naming scheme: IDs are journal
+// unit keys and seed-derivation labels, so renaming them silently
+// orphans every existing checkpoint.
+func TestIDStability(t *testing.T) {
+	cases := map[string]Params{
+		"p0-roff-t0":   {},
+		"p3-roff-t64":  {PartitionWays: 3, TimerJitter: 64},
+		"p0-rfull-t0":  {RandomizePeriod: -1},
+		"p2-r1000-t16": {PartitionWays: 2, RandomizePeriod: 1_000, TimerJitter: 16},
+	}
+	for want, p := range cases {
+		if got := p.ID(); got != want {
+			t.Errorf("%+v: ID = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/search"
 )
 
 // JobState is a job's lifecycle position. queued -> running -> done or
@@ -322,13 +323,30 @@ func (s *Service) runJob(j *job) {
 	var buf bytes.Buffer
 	var failedUnits int
 	var err error
-	if j.res.spec.Kind == KindSweep {
+	switch j.res.spec.Kind {
+	case KindSearch:
+		// The search drives the runner itself (batched phases under one
+		// journal identity), so it takes the config rather than the
+		// Runner; the job sink still sees every candidate outcome, so
+		// SSE subscribers get per-candidate events like any other job.
+		var rep *search.Report
+		if rep, err = search.Run(search.Options{
+			Scale:   j.res.scale,
+			Seed:    *j.res.spec.Seed,
+			Budget:  j.res.spec.Budget,
+			Epsilon: j.res.spec.Epsilon,
+			Runner:  cfg,
+		}); err == nil {
+			failedUnits = rep.Failed()
+			err = rep.WriteJSON(&buf)
+		}
+	case KindSweep:
 		var rep *runner.SweepReport
 		if rep, err = run.RunSweep(j.res.sweep, j.res.runnerJob()); err == nil {
 			failedUnits = rep.Failed()
 			err = rep.WriteJSON(&buf)
 		}
-	} else {
+	default:
 		var rep *runner.Report
 		if rep, err = run.Run(j.res.selection, j.res.runnerJob()); err == nil {
 			failedUnits = rep.Failed()
@@ -529,6 +547,9 @@ func countFailedUnits(raw []byte) int {
 		Cells []struct {
 			OK bool `json:"ok"`
 		} `json:"cells"`
+		Candidates []struct {
+			OK bool `json:"ok"`
+		} `json:"candidates"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return 0
@@ -540,6 +561,11 @@ func countFailedUnits(raw []byte) int {
 		}
 	}
 	for _, c := range rep.Cells {
+		if !c.OK {
+			n++
+		}
+	}
+	for _, c := range rep.Candidates {
 		if !c.OK {
 			n++
 		}

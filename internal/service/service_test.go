@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/runner"
+	"repro/internal/search"
 )
 
 func ptr(v int64) *int64 { return &v }
@@ -26,6 +27,22 @@ func soloBytes(t *testing.T, spec JobSpec) []byte {
 	}
 	cfg := runner.Config{Warm: !res.spec.Cold}
 	var buf bytes.Buffer
+	if res.spec.Kind == KindSearch {
+		rep, err := search.Run(search.Options{
+			Scale:   res.scale,
+			Seed:    *res.spec.Seed,
+			Budget:  res.spec.Budget,
+			Epsilon: res.spec.Epsilon,
+			Runner:  cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
 	if res.spec.Kind == KindSweep {
 		rep, err := runner.New(cfg).RunSweep(res.sweep, res.runnerJob())
 		if err != nil {
@@ -71,6 +88,26 @@ func TestResolveSpec(t *testing.T) {
 		t.Error("different trials must be a different job")
 	}
 
+	// Search normalization: omitted budget/epsilon select the search
+	// defaults, so an explicit-default submission is the same job.
+	s1, err := resolveSpec(JobSpec{Kind: KindSearch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := resolveSpec(JobSpec{Kind: KindSearch, Budget: search.DefaultBudget, Epsilon: search.DefaultEpsilon, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.id != s2.id {
+		t.Errorf("equivalent search specs got distinct ids %s / %s", s1.id, s2.id)
+	}
+	if s1.units != search.DefaultBudget {
+		t.Errorf("search units = %d, want the default budget", s1.units)
+	}
+	if k, id := s1.journalIdentity(); k != "search" || id != "frontier" {
+		t.Errorf("search journal identity = (%s, %s)", k, id)
+	}
+
 	full, err := resolveSpec(JobSpec{Kind: KindSweep, Sweep: "sens_chase_defense"})
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +131,13 @@ func TestResolveSpec(t *testing.T) {
 		{Kind: KindSweep, Sweep: "fig5"},
 		{Kind: KindSweep, Sweep: "sens_chase_noise", Experiments: []string{"fig5"}},
 		{Kind: KindSweep, Sweep: "sens_chase_noise", Defense: []string{"no-such-defense"}},
+		{Kind: KindSearch, Trials: 2},
+		{Kind: KindSearch, Sweep: "sens_chase_noise"},
+		{Kind: KindSearch, Experiments: []string{"fig5"}},
+		{Kind: KindSearch, Defense: []string{"none"}},
+		{Kind: KindSearch, Budget: -1},
+		{Kind: KindExperiments, Budget: 10},
+		{Kind: KindSweep, Sweep: "sens_chase_noise", Epsilon: 0.1},
 	}
 	for _, spec := range bad {
 		if _, err := resolveSpec(spec); err == nil {
@@ -198,6 +242,70 @@ func TestSameJournalIdentityJobsSerialized(t *testing.T) {
 		if want := soloBytes(t, spec); !bytes.Equal(got, want) {
 			t.Errorf("job %d: report differs from solo run", i)
 		}
+	}
+}
+
+// TestSearchJob: a search job runs the frontier search against the
+// shared pool and store, serves the packetchasing-frontier/v1 report
+// byte-identical to a solo search run, and streams one trial event per
+// candidate (unit = candidate ID) to subscribers.
+func TestSearchJob(t *testing.T) {
+	svc, err := Open(Config{StateDir: t.TempDir(), Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Kind: KindSearch, Budget: 6}
+	st, created, err := svc.Submit(spec)
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	if st.Units != 6 || st.TotalTrials != 6 {
+		t.Fatalf("search job sized %d units / %d trials, want 6/6", st.Units, st.TotalTrials)
+	}
+	svc.WaitIdle()
+
+	st, _ = svc.Status(st.ID)
+	if st.State != StateDone || st.Error != "" {
+		t.Fatalf("search job: state %s, error %q", st.State, st.Error)
+	}
+	got, err := svc.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := soloBytes(t, spec); !bytes.Equal(got, want) {
+		t.Errorf("service search report differs from solo run:\n%s\n---\n%s", got, want)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(got, &rep); err != nil || rep.Schema != search.SchemaVersion {
+		t.Errorf("report schema %q (err %v), want %q", rep.Schema, err, search.SchemaVersion)
+	}
+
+	// The retained event log must carry one trial event per candidate,
+	// keyed by candidate ID, ending in the terminal state event.
+	history, live, cancel, err := svc.subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if live != nil {
+		t.Error("terminal job must not offer a live channel")
+	}
+	units := map[string]bool{}
+	for _, ev := range history {
+		if ev.Type == EventTrial {
+			units[ev.Unit] = true
+		}
+	}
+	if len(units) != 6 {
+		t.Errorf("event log has %d candidate units, want 6: %v", len(units), units)
+	}
+	if !units["p0-roff-t0"] || !units["p3-roff-t64"] {
+		t.Errorf("anchor candidates missing from event units: %v", units)
+	}
+	if last := history[len(history)-1]; last.Type != EventState || last.State != StateDone {
+		t.Errorf("last event = %+v, want terminal done state", last)
 	}
 }
 

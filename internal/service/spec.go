@@ -10,6 +10,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/search"
 )
 
 // Job kinds, aligned with the checkpoint journal's identity kinds so a
@@ -20,6 +21,8 @@ const (
 	KindExperiments = "experiments"
 	// KindSweep runs one parameter sweep.
 	KindSweep = "sweep"
+	// KindSearch runs the defense Pareto-frontier search.
+	KindSearch = "search"
 )
 
 // JobSpec is the wire form of one job submission: what a client POSTs to
@@ -50,6 +53,13 @@ type JobSpec struct {
 	// Defense, for sweep jobs whose grid has a defense axis, restricts
 	// that axis to the named defenses (the CLI's -defense override).
 	Defense []string `json:"defense,omitempty"`
+	// Budget, for search jobs, caps total candidate evaluations (the
+	// CLI's -search-budget); omitted means the search default.
+	Budget int `json:"budget,omitempty"`
+	// Epsilon, for search jobs, is the overhead-axis ε-dominance slack
+	// (the CLI's -search-eps); omitted means the search default,
+	// negative means strict dominance.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // resolved is a validated, normalized spec bound to its runnable registry
@@ -87,6 +97,10 @@ func resolveSpec(spec JobSpec) (resolved, error) {
 	}
 	if spec.Trials == 0 {
 		spec.Trials = 1
+	}
+
+	if spec.Kind != KindSearch && (spec.Budget != 0 || spec.Epsilon != 0) {
+		return r, fmt.Errorf("budget and epsilon require a search job")
 	}
 
 	switch spec.Kind {
@@ -135,8 +149,27 @@ func resolveSpec(spec JobSpec) (resolved, error) {
 			r.sweep.Grid = grid
 		}
 		r.units = r.sweep.Grid.Size()
+	case KindSearch:
+		if len(spec.Experiments) > 0 || spec.Sweep != "" || len(spec.Defense) > 0 {
+			return r, fmt.Errorf("kind %q takes no experiment, sweep, or defense selection", KindSearch)
+		}
+		if spec.Trials != 1 {
+			// A candidate's score is a pure function of (params, scale,
+			// seed); the search journals one trial per candidate.
+			return r, fmt.Errorf("search jobs run one trial per candidate")
+		}
+		if spec.Budget < 0 {
+			return r, fmt.Errorf("budget must be >= 0 (0 means the default %d)", search.DefaultBudget)
+		}
+		if spec.Budget == 0 {
+			spec.Budget = search.DefaultBudget
+		}
+		if spec.Epsilon == 0 {
+			spec.Epsilon = search.DefaultEpsilon
+		}
+		r.units = spec.Budget
 	default:
-		return r, fmt.Errorf("unknown kind %q (want %q or %q)", spec.Kind, KindExperiments, KindSweep)
+		return r, fmt.Errorf("unknown kind %q (want %q, %q, or %q)", spec.Kind, KindExperiments, KindSweep, KindSearch)
 	}
 
 	r.spec = spec
@@ -167,8 +200,11 @@ func (r resolved) runnerJob() runner.Job {
 // two jobs over different selections share one journal — the service
 // serializes them on it rather than tripping the runner's flock.
 func (r resolved) journalIdentity() (kind, id string) {
-	if r.spec.Kind == KindSweep {
+	switch r.spec.Kind {
+	case KindSweep:
 		return "sweep", r.sweep.ID
+	case KindSearch:
+		return "search", "frontier"
 	}
 	return "experiments", ""
 }
