@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	repro "repro"
 	"repro/internal/fingerprint"
@@ -50,7 +51,13 @@ func main() {
 		webtrace.DefaultNoise(), 25, sim.NewRNG(99))
 	fmt.Printf("\nclosed-world identification: %d/%d correct (%.0f%%)\n",
 		res.Correct, res.Trials, 100*res.Accuracy())
-	for site, c := range res.PerSite {
+	sites := make([]string, 0, len(res.PerSite))
+	for site := range res.PerSite {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		c := res.PerSite[site]
 		fmt.Printf("  %-14s %d/%d\n", site, c[0], c[1])
 	}
 }

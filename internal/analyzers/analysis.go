@@ -1,0 +1,155 @@
+// Package analyzers is a static-analysis suite that enforces the three
+// unwritten contracts every headline property of this reproduction rests
+// on — byte-identical reports across -parallel widths, warm==cold,
+// service==solo, and interrupt/resume:
+//
+//   - determinism: no wall clock, global randomness, or environment reads
+//     inside the simulation core (analyzer detcore);
+//   - snapshot completeness: every stateful field of a snapshottable
+//     component is covered by both the Snapshot and the Restore direction
+//     (analyzer snapcover);
+//   - RNG discipline: all randomness flows through the draw-counted
+//     sim.RNG, so math/rand is importable only by internal/sim
+//     (analyzer rngflow);
+//   - emission order: map iteration feeding report emission is sorted
+//     before the bytes leave (analyzer mapemit).
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite can migrate to the upstream framework
+// mechanically if that dependency ever becomes available; the build
+// environment for this repo is offline, so the driver, loader, and
+// analysistest harness here are self-contained over the standard library.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and -run filters. It must be
+	// a valid identifier.
+	Name string
+	// Doc is the one-paragraph contract the pass enforces.
+	Doc string
+	// Run applies the pass to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+
+	dirs *directiveIndex
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos unless a
+// //packetlint:allow directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether a //packetlint:allow directive covers pos: one
+// on the same source line, or one alone on the line directly above.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.dirs.covers(directiveAllow, p.Fset.Position(pos))
+}
+
+// Transient reports whether a //packetlint:transient directive covers
+// pos (a struct field declaration): same line or the line directly above.
+func (p *Pass) Transient(pos token.Pos) bool {
+	return p.dirs.covers(directiveTransient, p.Fset.Position(pos))
+}
+
+// Finding is a resolved diagnostic with its analyzer and position, the
+// unit the driver and tests consume.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// findings sorted by position. Directive suppression (//packetlint:allow)
+// is applied inside Pass.Reportf; malformed directives (no reason) are
+// reported as findings of the pseudo-analyzer "packetlint".
+func RunAnalyzers(pkg *Package, as []*Analyzer) ([]Finding, error) {
+	dirs, bad := indexDirectives(pkg.Fset, pkg.Syntax)
+	var out []Finding
+	for _, f := range bad {
+		out = append(out, f)
+	}
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			dirs:      dirs,
+		}
+		pass.Report = func(d Diagnostic) {
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Suite returns the four packetlint analyzers in their canonical order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Detcore, Snapcover, RNGFlow, MapEmit}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata/src tree and diffs its findings against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// offline build environment cannot vendor). A want comment names one or
+// more quoted regular expressions that must each match a diagnostic
+// reported on that line:
+//
+//	rand.Intn(6) // want `global math/rand`
+//
+// Every want must be matched by a finding and every finding must match a
+// want; either direction of drift fails the test.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// Run analyzes each package rooted at dir/src/<path> with a and checks
+// its findings against the // want comments in the package's sources.
+func Run(t *testing.T, dir string, a *analyzers.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		t.Run(a.Name+"/"+path, func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analyzers.Analyzer, pkgpath string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", pkgdir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(pkgdir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files under %s", pkgdir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: stdImporter(t, fset, files)}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", pkgpath, err)
+	}
+
+	pkg := &analyzers.Package{
+		ImportPath: pkgpath,
+		Dir:        pkgdir,
+		GoFiles:    names,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	findings, err := analyzers.RunAnalyzers(pkg, []*analyzers.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	diff(t, fset, files, findings)
+}
+
+// want is one expectation: a regexp that must match a finding on a line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[idx+len("// want "):], -1) {
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: unq})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func diff(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analyzers.Finding) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// stdImporter builds an export-data importer for the standard-library
+// packages the testdata files import, using `go list -deps -export` (all
+// served from the local build cache; nothing is downloaded).
+func stdImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	sort.Strings(imports)
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, imports...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list -export %v: %v\n%s", imports, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("decoding go list output: %v", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}

@@ -1,0 +1,39 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+func TestDetcore(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Detcore,
+		"detcore/a", "detcore/internal/runner")
+}
+
+func TestRNGFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.RNGFlow,
+		"rngflow/a", "rngflow/internal/sim")
+}
+
+func TestSnapcover(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Snapcover,
+		"snapcover/a", "snapcover/cachemirror")
+}
+
+func TestMapEmit(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.MapEmit,
+		"mapemit/a")
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range analyzers.Suite() {
+		if got := analyzers.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if got := analyzers.ByName("nope"); got != nil {
+		t.Errorf("ByName(nope) = %v, want nil", got)
+	}
+}

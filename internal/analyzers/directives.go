@@ -1,0 +1,142 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comments are packetlint's escape hatches. Both require a
+// human-readable reason so every exception is self-documenting:
+//
+//	//packetlint:allow <reason>      — suppress any diagnostic on this
+//	                                   line (or the next, when the comment
+//	                                   stands alone on its own line)
+//	//packetlint:transient <reason>  — mark a struct field as outside the
+//	                                   snapshot contract: rebuilt at
+//	                                   construction, never mutated by the
+//	                                   simulation, so snapcover must not
+//	                                   demand Snapshot/Restore coverage
+//
+// A directive with an empty reason is itself a diagnostic: silent
+// exceptions are exactly the drift these analyzers exist to stop.
+const (
+	directiveAllow     = "allow"
+	directiveTransient = "transient"
+
+	directivePrefix = "//packetlint:"
+)
+
+// directiveIndex maps (file, line) to the directive kinds that cover it.
+type directiveIndex struct {
+	// byLine keys are "file:line" for the directive's own line; a
+	// directive alone on its line also covers the following line.
+	byLine map[string]map[string]bool
+}
+
+func key(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// Lines are small; avoid strconv import churn with manual itoa.
+	var digits [20]byte
+	i := len(digits)
+	n := line
+	if n == 0 {
+		i--
+		digits[i] = '0'
+	}
+	for n > 0 {
+		i--
+		digits[i] = byte('0' + n%10)
+		n /= 10
+	}
+	b.Write(digits[i:])
+	return b.String()
+}
+
+// indexDirectives scans every comment in the files, returning the
+// directive index plus findings for malformed directives (unknown kind or
+// missing reason).
+func indexDirectives(fset *token.FileSet, files []*ast.File) (*directiveIndex, []Finding) {
+	idx := &directiveIndex{byLine: make(map[string]map[string]bool)}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				kind, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if kind != directiveAllow && kind != directiveTransient {
+					bad = append(bad, Finding{
+						Analyzer: "packetlint",
+						Pos:      pos,
+						Message:  "unknown packetlint directive " + directivePrefix + kind,
+					})
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "packetlint",
+						Pos:      pos,
+						Message:  directivePrefix + kind + " needs a reason: //packetlint:" + kind + " <why>",
+					})
+					continue
+				}
+				idx.add(kind, pos.Filename, pos.Line)
+				// A directive that is the only thing on its line covers
+				// the next line, so annotations can sit above long
+				// statements and field declarations.
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					idx.add(kind, pos.Filename, pos.Line+1)
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// onlyCommentOnLine reports whether comment c starts its source line (no
+// code before it). Trailing comments share a line with code and cover only
+// that line.
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	only := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !only {
+			return false
+		}
+		if n.Pos() == token.NoPos {
+			return true
+		}
+		p := fset.Position(n.Pos())
+		if p.Line == cpos.Line && p.Column < cpos.Column {
+			if _, isFile := n.(*ast.File); !isFile {
+				only = false
+			}
+		}
+		return only
+	})
+	return only
+}
+
+func (d *directiveIndex) add(kind, file string, line int) {
+	k := key(file, line)
+	m := d.byLine[k]
+	if m == nil {
+		m = make(map[string]bool)
+		d.byLine[k] = m
+	}
+	m[kind] = true
+}
+
+func (d *directiveIndex) covers(kind string, pos token.Position) bool {
+	if d == nil {
+		return false
+	}
+	return d.byLine[key(pos.Filename, pos.Line)][kind]
+}

@@ -1,0 +1,51 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestMalformedDirectives pins the directive grammar: unknown kinds and
+// reason-less escapes are findings, not silent no-ops — an annotation
+// that doesn't say why is exactly the drift the suite exists to stop.
+func TestMalformedDirectives(t *testing.T) {
+	src := `package p
+
+//packetlint:allow
+func a() {}
+
+//packetlint:transient
+func b() {}
+
+//packetlint:frobnicate because reasons
+func c() {}
+
+//packetlint:allow documented reason
+func d() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, bad := indexDirectives(fset, []*ast.File{f})
+	if len(bad) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(bad), bad)
+	}
+	wants := []string{"needs a reason", "needs a reason", "unknown packetlint directive"}
+	for i, w := range wants {
+		if !strings.Contains(bad[i].Message, w) {
+			t.Errorf("finding %d = %q, want containing %q", i, bad[i].Message, w)
+		}
+	}
+	// The well-formed directive on func d covers its own and the next line.
+	if !idx.covers(directiveAllow, token.Position{Filename: "p.go", Line: 12}) {
+		t.Error("valid allow directive not indexed on its own line")
+	}
+	if !idx.covers(directiveAllow, token.Position{Filename: "p.go", Line: 13}) {
+		t.Error("standalone allow directive does not cover the following line")
+	}
+}

@@ -1,0 +1,230 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapEmit protects report-byte determinism from Go's randomized map
+// iteration order. Ranging over a map is fine for order-insensitive work
+// (building another map, counting, summing ints, max/min); it is a bug
+// the moment the iteration order can reach emitted bytes. Two shapes are
+// flagged:
+//
+//   - appending map-iteration results to a slice declared outside the
+//     loop, with no sort of that slice later in the same function — the
+//     canonical fix is collect → sort → emit, and the sort must happen
+//     where the collection does;
+//   - writing directly to an output sink (fmt.Fprint*/Print*, a
+//     bytes.Buffer / strings.Builder, an io.Writer, json encoding) from
+//     inside the loop body, where no post-hoc sort can help.
+var MapEmit = &Analyzer{
+	Name: "mapemit",
+	Doc: "map iteration feeding append or emission must be sorted " +
+		"before the bytes can escape",
+	Run: runMapEmit,
+}
+
+func runMapEmit(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, body := funcBody(n)
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, fn, body)
+			// Keep descending: literals declare nested functions whose
+			// bodies are checked in their own right when visited.
+			return true
+		})
+	}
+	return nil
+}
+
+func funcBody(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn, fn.Body
+	case *ast.FuncLit:
+		return fn, fn.Body
+	}
+	return nil, nil
+}
+
+func checkMapRanges(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Do not descend into nested function literals; they get their
+		// own visit (and their appends target their own scope).
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rng.X); t == nil || !isMap(t) {
+			return true
+		}
+		checkOneRange(pass, fn, body, rng)
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkOneRange(pass *Pass, fn ast.Node, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target := appendTarget(pass, call); target != nil {
+			if obj := pass.TypesInfo.ObjectOf(target); obj != nil &&
+				declaredOutside(obj, rng) && !sortedAfter(pass, fnBody, rng, obj) {
+				pass.Reportf(rng.For,
+					"map iteration appends to %q with no later sort in this function: iteration order is randomized and will reach emitted bytes (collect, sort, then emit)",
+					target.Name)
+			}
+			return true
+		}
+		if sink, why := emissionSink(pass, call); sink {
+			pass.Reportf(call.Pos(),
+				"%s inside map iteration: iteration order is randomized and reaches the output directly (iterate sorted keys instead)", why)
+		}
+		return true
+	})
+}
+
+// appendTarget returns the identifier an `x = append(x, ...)` /
+// `x := append(x, ...)` call ultimately assigns to, if the call is a
+// builtin append feeding a plain identifier.
+func appendTarget(pass *Pass, call *ast.CallExpr) *ast.Ident {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	target, _ := call.Args[0].(*ast.Ident)
+	return target
+}
+
+// declaredOutside reports whether obj's declaration precedes the range
+// statement (i.e. the slice outlives the loop).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos()
+}
+
+// sortedAfter reports whether, after the range statement and within the
+// same function body, obj is passed through a sort.* or slices.Sort*
+// call — the collect-sort-emit pattern.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		callee := pass.TypesInfo.ObjectOf(sel.Sel)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}
+
+// emissionSink classifies calls that move bytes toward output: fmt
+// printing, json encoding, and Write* methods on buffers, builders, and
+// io.Writers.
+func emissionSink(pass *Pass, call *ast.CallExpr) (bool, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false, ""
+	}
+	callee := pass.TypesInfo.ObjectOf(sel.Sel)
+	if callee == nil {
+		return false, ""
+	}
+	name := callee.Name()
+	if pkg := callee.Pkg(); pkg != nil && callee.Parent() == pkg.Scope() {
+		switch pkg.Path() {
+		case "fmt":
+			if len(name) >= 5 && (name[:5] == "Print" || name[:5] == "Fprin") {
+				return true, "fmt." + name
+			}
+		case "encoding/json":
+			if name == "Marshal" || name == "MarshalIndent" {
+				return true, "json." + name
+			}
+		case "io":
+			if name == "WriteString" {
+				return true, "io.WriteString"
+			}
+		}
+		return false, ""
+	}
+	// Method sinks: Encode on a json.Encoder; Write/WriteString/
+	// WriteByte/WriteRune on anything (buffers, builders, writers).
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type().String()
+		if name == "Encode" && recv == "*encoding/json.Encoder" {
+			return true, "json.Encoder.Encode"
+		}
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			if sel2 := pass.TypesInfo.Selections[sel]; sel2 != nil {
+				return true, recvShort(recv) + "." + name
+			}
+		}
+	}
+	return false, ""
+}
+
+func recvShort(recv string) string {
+	for i := len(recv) - 1; i >= 0; i-- {
+		if recv[i] == '/' {
+			return recv[i+1:]
+		}
+	}
+	return recv
+}

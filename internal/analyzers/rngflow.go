@@ -1,0 +1,45 @@
+package analyzers
+
+import (
+	"strconv"
+	"strings"
+)
+
+// RNGFlow confines math/rand imports to internal/sim. Every random
+// decision in the simulation must flow through the draw-counted sim.RNG:
+// its stream position is (seed, draws), which is what makes machine
+// snapshots honest and warm-started or resumed runs byte-identical to
+// cold ones. A second rand import anywhere else would mint randomness
+// with no position to capture, and the first snapshot taken across it
+// would silently diverge.
+var RNGFlow = &Analyzer{
+	Name: "rngflow",
+	Doc: "math/rand may be imported only by internal/sim; all other " +
+		"randomness must come from the draw-counted sim.RNG",
+	Run: runRNGFlow,
+}
+
+// rngImporter is the single package allowed to import math/rand, as an
+// import-path suffix relative to the module root.
+const rngImporter = "internal/sim"
+
+func runRNGFlow(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path == rngImporter || strings.HasSuffix(path, "/"+rngImporter) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if target == "math/rand" || target == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside %s: randomness must flow through the draw-counted sim.RNG so streams stay snapshot/restorable",
+					target, rngImporter)
+			}
+		}
+	}
+	return nil
+}

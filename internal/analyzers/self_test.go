@@ -1,0 +1,80 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// TestSuiteCleanOnRealTree runs all four analyzers over the real module —
+// not testdata — so `go test ./...` fails the moment anyone introduces a
+// wall-clock read into the simulation core, drops a field from a Restore,
+// imports math/rand outside internal/sim, or emits map-ordered bytes.
+// This is the tier-1 guard: CI's packetlint job enforces the same
+// property, but this test does it without CI, on every local test run.
+//
+// New legitimate exceptions take an inline //packetlint:allow or
+// //packetlint:transient with a reason, or (for a genuinely wall-clock
+// package) an entry in analyzers.DetcoreAllowlist — never a relaxation of
+// this test.
+func TestSuiteCleanOnRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analyzers.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; expected the full module", len(pkgs))
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := analyzers.RunAnalyzers(pkg, analyzers.Suite())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+			total++
+		}
+	}
+	if total > 0 {
+		t.Logf("%d determinism-contract violations; fix them or annotate with a reasoned //packetlint directive", total)
+	}
+}
+
+// TestSnapcoverGuardsRealSnapshots double-checks the self-test has teeth:
+// the real snapshot-owning packages must actually be seen by the loader
+// (if cache/testbed/nic ever moved, the self-test would silently guard
+// nothing).
+func TestSnapcoverGuardsRealSnapshots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analyzers.Load(root, "./internal/cache", "./internal/testbed", "./internal/nic", "./internal/mem", "./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 5 {
+		t.Fatalf("loaded %d packages, want 5", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		findings, err := analyzers.RunAnalyzers(pkg, []*analyzers.Analyzer{analyzers.Snapcover})
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

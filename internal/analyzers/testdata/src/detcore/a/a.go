@@ -1,0 +1,47 @@
+// Package a seeds detcore violations: wall clock, environment reads, and
+// global randomness in a package that is not on the allowlist.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in a deterministic package`
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in a deterministic package`
+}
+
+func env() string {
+	return os.Getenv("SEED") // want `os\.Getenv in a deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `math/rand\.Intn in a deterministic package: global math/rand source`
+}
+
+func cryptoRand(p []byte) {
+	crand.Read(p) // want `crypto/rand\.Read in a deterministic package`
+}
+
+// Seeded local generators are rngflow's business, not detcore's: no
+// diagnostic here.
+func localRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// The escape hatch: a reasoned allow directive suppresses the finding,
+// trailing or on the line above.
+func allowedTrailing() time.Time {
+	return time.Now() //packetlint:allow boot banner timestamp, never reaches a report
+}
+
+func allowedAbove() time.Time {
+	//packetlint:allow boot banner timestamp, never reaches a report
+	return time.Now()
+}

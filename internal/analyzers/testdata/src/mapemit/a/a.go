@@ -1,0 +1,89 @@
+// Package a seeds mapemit violations — map iteration whose order can
+// reach emitted bytes — next to the sorted patterns that must stay clean.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Unsorted collect: the keys slice leaves this function in map order.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys" with no later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The canonical fix: collect, sort, emit.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with the slice inside a closure argument also counts.
+func SortedPairs(m map[string]int) [][2]string {
+	var pairs [][2]string
+	for k, v := range m {
+		pairs = append(pairs, [2]string{k, fmt.Sprint(v)})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	return pairs
+}
+
+// Direct emission inside the loop: no post-hoc sort can fix this.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration`
+	}
+}
+
+func Render(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want `bytes\.Buffer\.WriteString inside map iteration`
+	}
+	return buf.String()
+}
+
+// Order-insensitive uses are fine: counting, max, building another map.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Slice iteration is always ordered; appends from it are fine.
+func Copy(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// The escape hatch, for iteration an author can argue is safe.
+func Allowed(m map[string]int) []string {
+	var keys []string
+	//packetlint:allow order canonicalized by the single caller
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,12 @@
+// Package a seeds an rngflow violation: importing math/rand anywhere
+// outside internal/sim mints randomness with no draw-counted stream
+// position, which breaks snapshot/resume byte-identity.
+package a
+
+import (
+	"math/rand" // want `import of math/rand outside internal/sim`
+)
+
+func Roll(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

@@ -1,0 +1,14 @@
+// Package sim mirrors the real internal/sim: the one package allowed to
+// import math/rand, because it wraps every stream in the draw-counted
+// RNG whose position is snapshottable.
+package sim
+
+import "math/rand"
+
+type RNG struct {
+	*rand.Rand
+}
+
+func New(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}

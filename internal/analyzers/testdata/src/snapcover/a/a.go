@@ -1,0 +1,62 @@
+// Package a seeds snapcover violations and the patterns that must stay
+// clean: transitive helper coverage, transient annotations, and fields
+// missed in one or both directions.
+package a
+
+// Machine is fully covered: save and restore both touch every
+// non-transient field, with the restore direction flowing through a
+// helper (Restore -> restoreCore), mirroring the real NIC.
+type Machine struct {
+	//packetlint:transient geometry, fixed at construction
+	geom string
+
+	state []int
+	pos   int
+}
+
+type MachineState struct {
+	State []int
+	Pos   int
+}
+
+func (m *Machine) Snapshot() MachineState {
+	return MachineState{State: append([]int(nil), m.state...), Pos: m.pos}
+}
+
+func (m *Machine) Restore(s MachineState) {
+	m.restoreCore(s)
+}
+
+func (m *Machine) restoreCore(s MachineState) {
+	m.state = append(m.state[:0], s.State...)
+	m.pos = s.Pos
+}
+
+// Drifted has a field the save path captures but Restore forgot, and a
+// field neither direction touches — the snapshot-drift bug class.
+type Drifted struct {
+	kept    int
+	dropped int // want `field Drifted\.dropped is not referenced in the Restore path`
+	ghost   int // want `field Drifted\.ghost is not referenced in either the Snapshot or the Restore path`
+}
+
+type DriftedState struct {
+	Kept    int
+	Dropped int
+}
+
+func (d *Drifted) SnapshotInto(s *DriftedState) {
+	s.Kept = d.kept
+	s.Dropped = d.dropped
+}
+
+func (d *Drifted) Restore(s *DriftedState) {
+	d.kept = s.Kept
+}
+
+// SaveOnly owns a Snapshot but no Restore: not a snapcover target.
+type SaveOnly struct {
+	x int
+}
+
+func (s *SaveOnly) Snapshot() int { return s.x }

@@ -1,0 +1,63 @@
+// Package cachemirror mirrors the real internal/cache.Cache snapshot
+// contract, with one field reference deleted from Restore — the
+// acceptance case: dropping any existing field copy from a real Restore
+// must trip snapcover.
+package cachemirror
+
+import "fmt"
+
+type line struct {
+	tag   uint64
+	valid bool
+	stamp uint64
+}
+
+type Stats struct {
+	CPUAccesses, CPUMisses uint64
+}
+
+type Cache struct {
+	//packetlint:transient geometry config, fixed at construction
+	cfg string
+	//packetlint:transient derived index math, rebuilt by New
+	setMask uint64
+
+	lines  []line
+	pstate []int
+	nextID uint64
+	stats  Stats // want `field Cache\.stats is not referenced in the Restore path`
+	geo    string
+}
+
+type Snapshot struct {
+	geometry string
+	lines    []line
+	pstate   []int
+	nextID   uint64
+	stats    Stats
+}
+
+func (c *Cache) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	c.SnapshotInto(s)
+	return s
+}
+
+func (c *Cache) SnapshotInto(s *Snapshot) {
+	s.geometry = c.geo
+	s.lines = append(s.lines[:0], c.lines...)
+	s.pstate = append(s.pstate[:0], c.pstate...)
+	s.nextID = c.nextID
+	s.stats = c.stats
+}
+
+// Restore mirrors cache.Cache.Restore with the `c.stats = s.stats` line
+// deleted: the drift snapcover exists to catch.
+func (c *Cache) Restore(s *Snapshot) {
+	if c.geo != s.geometry {
+		panic(fmt.Sprintf("cachemirror: restoring snapshot of %q into %q", s.geometry, c.geo))
+	}
+	copy(c.lines, s.lines)
+	copy(c.pstate, s.pstate)
+	c.nextID = s.nextID
+}

@@ -62,13 +62,16 @@ func (s Stats) MissRate() float64 {
 // Cache is the simulated last-level cache. It is single-goroutine, like the
 // rest of the simulation core.
 type Cache struct {
-	cfg   Config
+	//packetlint:transient geometry config, fixed at construction; snapshots guard it via geo
+	cfg Config
+	//packetlint:transient wiring to the shared clock, rebound only by New
 	clock *sim.Clock
 	// lines is the flat [set*ways+way] line array. The per-set slice-of-
 	// slices layout this replaced cost every access an extra pointer load
 	// and bounds check on the simulator's hottest path; setWays carves
 	// set views out of the flat array with pure index math instead.
-	lines  []line
+	lines []line
+	//packetlint:transient cfg.Ways copy, derived at construction
 	ways   int        // cfg.Ways, kept flat for the indexing hot path
 	pstate []setState // only used when cfg.Partition != nil
 	nextID uint64     // LRU stamp source
@@ -79,9 +82,12 @@ type Cache struct {
 	// re-derives the slice-hash width) on every simulated access — the
 	// single hottest call site in the tree. globalSet below reads these
 	// three words instead.
-	setMask   uint64 // SetsPerSlice - 1
-	sliceBits int    // log2(Slices)
-	sps       int    // SetsPerSlice
+	//packetlint:transient derived set-index math, rebuilt by New from cfg
+	setMask uint64 // SetsPerSlice - 1
+	//packetlint:transient derived set-index math, rebuilt by New from cfg
+	sliceBits int // log2(Slices)
+	//packetlint:transient derived set-index math, rebuilt by New from cfg
+	sps int // SetsPerSlice
 }
 
 // globalSet is Config.GlobalSet with the geometry constants precomputed

@@ -121,9 +121,13 @@ type pending struct {
 
 // NIC is the adapter + driver model.
 type NIC struct {
-	cfg    Config
-	cache  *cache.Cache
-	alloc  *mem.Allocator
+	//packetlint:transient ring/buffer geometry, fixed at construction and guarded by restoreCore's shape check
+	cfg Config
+	//packetlint:transient wiring to the shared cache, rebound only by New/NewShell
+	cache *cache.Cache
+	//packetlint:transient wiring to the shared allocator, rebound only by New/NewShell
+	alloc *mem.Allocator
+	//packetlint:transient wiring to the shared clock, rebound only by New/NewShell
 	clock  *sim.Clock
 	rng    *sim.RNG
 	ring   []descriptor

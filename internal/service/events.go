@@ -1,6 +1,8 @@
 package service
 
 import (
+	"sort"
+
 	"repro/internal/runner"
 )
 
@@ -103,6 +105,9 @@ func (s *Service) publishLocked(j *job, ev Event) {
 			dropped = append(dropped, id)
 		}
 	}
+	// Disconnect in subscriber order, not map order, so a multi-drop is
+	// reproducible.
+	sort.Ints(dropped)
 	for _, id := range dropped {
 		close(j.subs[id])
 		delete(j.subs, id)

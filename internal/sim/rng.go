@@ -14,6 +14,7 @@ import "math/rand"
 // world continues with exactly the random decisions the original would
 // have made.
 type RNG struct {
+	//packetlint:transient stateless view over src; Restore repositions src and Rand follows
 	*rand.Rand
 	src *countedSource
 }
